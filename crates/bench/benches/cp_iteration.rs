@@ -1,0 +1,53 @@
+//! End-to-end benchmark: one full CP-ALS pass per strategy, plus the
+//! BIGtensor baseline — the per-iteration quantity behind Figures 2/3.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cstf_core::{CpAls, Strategy};
+use cstf_dataflow::{Cluster, ClusterConfig};
+use cstf_tensor::random::RandomTensor;
+use cstf_tensor::CooTensor;
+
+fn tensor() -> CooTensor {
+    RandomTensor::new(vec![300, 250, 200]).nnz(20_000).seed(3).build()
+}
+
+fn bench_cp_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cp_als_iteration");
+    group.sample_size(10);
+    let t = tensor();
+
+    group.bench_function("cstf_coo", |b| {
+        b.iter(|| {
+            let cluster = Cluster::new(ClusterConfig::auto().nodes(4));
+            CpAls::new(4)
+                .strategy(Strategy::Coo)
+                .max_iterations(1)
+                .skip_fit()
+                .run(&cluster, &t)
+                .unwrap()
+        })
+    });
+
+    group.bench_function("cstf_qcoo", |b| {
+        b.iter(|| {
+            let cluster = Cluster::new(ClusterConfig::auto().nodes(4));
+            CpAls::new(4)
+                .strategy(Strategy::Qcoo)
+                .max_iterations(1)
+                .skip_fit()
+                .run(&cluster, &t)
+                .unwrap()
+        })
+    });
+
+    group.bench_function("bigtensor", |b| {
+        b.iter(|| {
+            let cluster = Cluster::new(ClusterConfig::auto().nodes(4));
+            cstf_core::bigtensor::bigtensor_cp(&cluster, &t, 4, 1, 0).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cp_iteration);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Microbenchmarks for the dense linear-algebra kernels CP-ALS uses on
+//! the driver: gram matrices, the Hadamard gram product, the normal-
+//! equation solve, and the explicit Khatri-Rao product (the operation
+//! CSTF avoids — shown for contrast with its input-size blowup).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cstf_tensor::kr::khatri_rao;
+use cstf_tensor::linalg::{cholesky, pinv_symmetric, solve_normal_equations};
+use cstf_tensor::DenseMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_gram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gram");
+    for rows in [1_000usize, 10_000] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = DenseMatrix::random(rows, 16, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| a.gram())
+        });
+    }
+    group.finish();
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solvers");
+    for r in [4usize, 16, 64] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let base = DenseMatrix::random(r + 4, r, &mut rng);
+        let spd = base.gram();
+        let m = DenseMatrix::random(5_000, r, &mut rng);
+        group.bench_with_input(BenchmarkId::new("cholesky", r), &r, |b, _| {
+            b.iter(|| cholesky(&spd).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("pinv", r), &r, |b, _| {
+            b.iter(|| pinv_symmetric(&spd).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("normal_eq", r), &r, |b, _| {
+            b.iter(|| solve_normal_equations(&m, &spd).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_khatri_rao(c: &mut Criterion) {
+    let mut group = c.benchmark_group("khatri_rao_blowup");
+    // Output has rows_a × rows_b rows: the intermediate-data explosion of
+    // paper §2.3.
+    for n in [50usize, 200] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = DenseMatrix::random(n, 8, &mut rng);
+        let b_m = DenseMatrix::random(n, 8, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n * n), &n, |b, _| {
+            b.iter(|| khatri_rao(&a, &b_m).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gram, bench_solvers, bench_khatri_rao);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Microbenchmarks for the MTTKRP kernels: sequential reference, threaded
+//! reference, distributed CSTF-COO, distributed CSTF-QCOO steady-state
+//! step, and the BIGtensor unfolding workflow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cstf_core::factors::tensor_to_rdd;
+use cstf_core::mttkrp::{mttkrp_coo, MttkrpOptions};
+use cstf_core::qcoo::QcooState;
+use cstf_dataflow::{Cluster, ClusterConfig};
+use cstf_tensor::csf::CsfTensor;
+use cstf_tensor::dimtree::DimTree;
+use cstf_tensor::mttkrp::{mttkrp, mttkrp_parallel};
+use cstf_tensor::random::RandomTensor;
+use cstf_tensor::{CooTensor, DenseMatrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const RANK: usize = 8;
+
+fn tensor(nnz: usize) -> CooTensor {
+    RandomTensor::new(vec![500, 400, 300]).nnz(nnz).seed(7).build()
+}
+
+fn factors(t: &CooTensor, seed: u64) -> Vec<DenseMatrix> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    t.shape()
+        .iter()
+        .map(|&s| DenseMatrix::random(s as usize, RANK, &mut rng))
+        .collect()
+}
+
+fn bench_sequential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mttkrp_sequential");
+    for nnz in [10_000usize, 50_000] {
+        let t = tensor(nnz);
+        let f = factors(&t, 1);
+        let refs: Vec<&DenseMatrix> = f.iter().collect();
+        group.bench_with_input(BenchmarkId::new("seq", nnz), &nnz, |b, _| {
+            b.iter(|| mttkrp(&t, &refs, 0).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("par4", nnz), &nnz, |b, _| {
+            b.iter(|| mttkrp_parallel(&t, &refs, 0, 4).unwrap())
+        });
+        // Fiber-amortized CSF MTTKRP (SPLATT-style local baseline).
+        let csf = CsfTensor::rooted_at(&t, 0).unwrap();
+        group.bench_with_input(BenchmarkId::new("csf", nnz), &nnz, |b, _| {
+            b.iter(|| csf.mttkrp_root(&refs).unwrap())
+        });
+        // Dimension-tree full-cycle MTTKRP (Kaya-Uçar-style reuse): one
+        // complete mode cycle, amortizing shared contractions.
+        group.bench_with_input(BenchmarkId::new("dimtree_cycle", nnz), &nnz, |b, _| {
+            b.iter(|| {
+                let mut tree = DimTree::new(t.clone(), RANK).unwrap();
+                (0..t.order())
+                    .map(|m| tree.mttkrp(&f, m).unwrap())
+                    .collect::<Vec<_>>()
+            })
+        });
+        // Per-mode naive cycle for comparison.
+        group.bench_with_input(BenchmarkId::new("naive_cycle", nnz), &nnz, |b, _| {
+            b.iter(|| {
+                (0..t.order())
+                    .map(|m| mttkrp(&t, &refs, m).unwrap())
+                    .collect::<Vec<_>>()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_distributed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mttkrp_distributed");
+    group.sample_size(10);
+    let nnz = 20_000;
+    let t = tensor(nnz);
+    let f = factors(&t, 2);
+
+    let cluster = Cluster::new(ClusterConfig::auto().nodes(4));
+    let rdd = tensor_to_rdd(&cluster, &t, 16).persist_now();
+    group.bench_function("cstf_coo", |b| {
+        b.iter(|| {
+            mttkrp_coo(&cluster, &rdd, &f, t.shape(), 0, &MttkrpOptions::default()).unwrap()
+        })
+    });
+
+    group.bench_function("cstf_qcoo_step", |b| {
+        let mut q = QcooState::init(&cluster, &rdd, &f, t.shape(), RANK, 16).unwrap();
+        b.iter(|| {
+            let join_mode = q.next_join_mode();
+            q.step(&f[join_mode]).unwrap()
+        })
+    });
+
+    group.bench_function("bigtensor", |b| {
+        b.iter(|| {
+            cstf_core::bigtensor::bigtensor_mttkrp(&cluster, &rdd, &f, t.shape(), 0, 16).unwrap()
+        })
+    });
+
+    group.bench_function("cstf_coo_broadcast", |b| {
+        b.iter(|| {
+            cstf_core::mttkrp::mttkrp_coo_broadcast(
+                &cluster,
+                &rdd,
+                &f,
+                t.shape(),
+                0,
+                &MttkrpOptions::default(),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sequential, bench_distributed);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Engine microbenchmarks: shuffle throughput of the wide operators CSTF
+//! is built from (`reduce_by_key`, `join`, `partition_by`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cstf_dataflow::{Cluster, ClusterConfig};
+
+fn bench_reduce_by_key(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduce_by_key");
+    group.sample_size(20);
+    for n in [10_000usize, 100_000] {
+        let data: Vec<(u32, u64)> = (0..n).map(|i| (i as u32 % 1024, i as u64)).collect();
+        group.bench_with_input(BenchmarkId::new("plain", n), &n, |b, _| {
+            b.iter(|| {
+                let cluster = Cluster::new(ClusterConfig::auto().nodes(4));
+                cluster
+                    .parallelize(data.clone(), 16)
+                    .reduce_by_key(|a, x| a + x)
+                    .count()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("map_side", n), &n, |b, _| {
+            b.iter(|| {
+                let cluster = Cluster::new(ClusterConfig::auto().nodes(4));
+                cluster
+                    .parallelize(data.clone(), 16)
+                    .reduce_by_key_map_side(|a, x| a + x)
+                    .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join");
+    group.sample_size(20);
+    let n = 50_000usize;
+    let left: Vec<(u32, f64)> = (0..n).map(|i| (i as u32 % 4096, i as f64)).collect();
+    let right: Vec<(u32, f64)> = (0..4096u32).map(|k| (k, k as f64)).collect();
+    group.bench_function("tensor_factor_join", |b| {
+        b.iter(|| {
+            let cluster = Cluster::new(ClusterConfig::auto().nodes(4));
+            let l = cluster.parallelize(left.clone(), 16);
+            let r = cluster.parallelize(right.clone(), 16);
+            l.join(&r).count()
+        })
+    });
+    group.finish();
+}
+
+fn bench_partition_by(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_by");
+    group.sample_size(20);
+    let n = 100_000usize;
+    let data: Vec<(u32, u32)> = (0..n).map(|i| (i as u32, i as u32)).collect();
+    group.bench_function("repartition", |b| {
+        b.iter(|| {
+            let cluster = Cluster::new(ClusterConfig::auto().nodes(8));
+            cluster.parallelize(data.clone(), 8).partition_by(32).count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduce_by_key, bench_join, bench_partition_by);
+criterion_main!(benches);

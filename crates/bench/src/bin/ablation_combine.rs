@@ -1,0 +1,96 @@
+//! Ablation: map-side combining in the MTTKRP's final `reduceByKey`.
+//!
+//! ```text
+//! cargo run --release -p cstf-bench --bin ablation_combine -- \
+//!     [--scale 4000] [--seed 0]
+//! ```
+//!
+//! Our default matches the paper's Table 4 accounting (no map-side
+//! combine: the reduce shuffles a full `nnz·R`). Spark's real
+//! `reduceByKey` combines map-side, shrinking the reduce shuffle whenever
+//! partitions contain repeated output indices — which depends on the
+//! output mode's size and skew. This experiment measures the reduce-stage
+//! shuffle bytes both ways on every mode of every 3rd-order dataset.
+
+use cstf_bench::*;
+use cstf_core::factors::tensor_to_rdd;
+use cstf_core::mttkrp::{mttkrp_coo, MttkrpOptions};
+use cstf_dataflow::{Cluster, ClusterConfig};
+use cstf_tensor::datasets::THIRD_ORDER;
+use cstf_tensor::DenseMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::from_env();
+    let scale: f64 = args.parse("scale", 4000.0);
+    let seed: u64 = args.parse("seed", 0);
+
+    for spec in THIRD_ORDER {
+        let tensor = spec.generate(scale, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let factors: Vec<DenseMatrix> = tensor
+            .shape()
+            .iter()
+            .map(|&s| DenseMatrix::random(s as usize, PAPER_RANK, &mut rng))
+            .collect();
+        println!(
+            "\n=== Combine ablation: {} (shape {:?}, nnz {}) ===",
+            spec.name,
+            tensor.shape(),
+            tensor.nnz()
+        );
+
+        let cluster = Cluster::new(ClusterConfig::auto().nodes(8));
+        let rdd = tensor_to_rdd(&cluster, &tensor, 32).persist_now();
+        let mut rows = Vec::new();
+        for mode in 0..3 {
+            let reduce_bytes = |combine: bool| -> u64 {
+                cluster.metrics().reset();
+                let _ = mttkrp_coo(
+                    &cluster,
+                    &rdd,
+                    &factors,
+                    tensor.shape(),
+                    mode,
+                    &MttkrpOptions {
+                        partitions: Some(32),
+                        map_side_combine: combine,
+                    },
+                )
+                .expect("mttkrp failed");
+                cluster
+                    .metrics()
+                    .snapshot()
+                    .stages()
+                    .filter(|s| s.name.contains("reduce_by_key"))
+                    .map(|s| s.shuffle_write_bytes)
+                    .sum()
+            };
+            let plain = reduce_bytes(false);
+            let combined = reduce_bytes(true);
+            rows.push(vec![
+                format!("mode {}", mode + 1),
+                tensor.distinct_indices(mode).to_string(),
+                format!("{:.2} MB", plain as f64 / 1e6),
+                format!("{:.2} MB", combined as f64 / 1e6),
+                format!("{:.1}%", (1.0 - combined as f64 / plain as f64) * 100.0),
+            ]);
+        }
+        print_table(
+            &[
+                "output mode",
+                "distinct indices",
+                "reduce bytes (paper acct.)",
+                "reduce bytes (Spark combine)",
+                "reduction",
+            ],
+            &rows,
+        );
+        write_csv(
+            &format!("ablation_combine_{}", spec.name),
+            &["mode", "distinct", "plain_bytes", "combined_bytes", "reduction"],
+            &rows,
+        );
+    }
+}

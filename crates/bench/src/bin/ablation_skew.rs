@@ -1,0 +1,96 @@
+//! Ablation: load balance under index skew — why CSTF "partitions and
+//! parallelizes the nonzeros" (paper §6.6).
+//!
+//! ```text
+//! cargo run --release -p cstf-bench --bin ablation_skew -- [--scale 2000] [--seed 0]
+//! ```
+//!
+//! Real tagging tensors are heavily Zipf-skewed: a few indices hold most
+//! nonzeros. A layout that assigns work *by mode index* (hash-partitioned
+//! on one mode's key, as the shuffles inside a join necessarily do) can
+//! concentrate hub indices' records on few partitions, while CSTF's base
+//! layout — contiguous chunks of the nonzero list — is perfectly even.
+//! This experiment measures both: the max/mean records-per-partition
+//! ratio of the nonzero layout vs a mode-keyed repartition, for the
+//! skewed crawled datasets and the uniform synthetic one.
+
+use cstf_bench::*;
+use cstf_core::factors::tensor_to_rdd;
+use cstf_dataflow::{Cluster, ClusterConfig};
+use cstf_tensor::datasets::{DELICIOUS3D, NELL1, SYNT3D};
+
+fn main() {
+    let args = Args::from_env();
+    let scale: f64 = args.parse("scale", 2000.0);
+    let seed: u64 = args.parse("seed", 0);
+    let partitions = 32usize;
+
+    let mut rows = Vec::new();
+    for spec in [DELICIOUS3D, NELL1, SYNT3D] {
+        let tensor = spec.generate(scale, seed);
+        let cluster = Cluster::new(ClusterConfig::auto().nodes(8));
+        let rdd = tensor_to_rdd(&cluster, &tensor, partitions);
+
+        let imbalance = |sizes: Vec<usize>| -> (f64, usize) {
+            let max = *sizes.iter().max().unwrap_or(&0);
+            let mean = sizes.iter().sum::<usize>() as f64 / sizes.len().max(1) as f64;
+            (max as f64 / mean.max(1.0), max)
+        };
+
+        // CSTF's base layout: contiguous nonzero chunks.
+        let nonzero_sizes: Vec<usize> = rdd
+            .map_partitions(|_, d| vec![d.len()])
+            .collect();
+        let (nz_ratio, _) = imbalance(nonzero_sizes);
+
+        // Mode-keyed layout for every mode (what a per-mode hash shuffle
+        // produces).
+        for mode in 0..tensor.order() {
+            let keyed_sizes: Vec<usize> = rdd
+                .map(move |rec| (rec.coord[mode], rec))
+                .partition_by(partitions)
+                .map_partitions(|_, d| vec![d.len()])
+                .collect();
+            let (key_ratio, key_max) = imbalance(keyed_sizes);
+            let hub = tensor
+                .mode_histogram(mode)
+                .into_iter()
+                .max()
+                .unwrap_or(0);
+            rows.push(vec![
+                spec.name.to_string(),
+                format!("mode {}", mode + 1),
+                format!("{}", tensor.distinct_indices(mode)),
+                hub.to_string(),
+                format!("{nz_ratio:.2}"),
+                format!("{key_ratio:.2}"),
+                key_max.to_string(),
+            ]);
+        }
+    }
+    println!("Partition load imbalance (max/mean records per partition), 32 partitions:\n");
+    print_table(
+        &[
+            "dataset",
+            "keyed mode",
+            "distinct idx",
+            "hub nnz",
+            "nonzero layout",
+            "mode-keyed layout",
+            "max part (keyed)",
+        ],
+        &rows,
+    );
+    println!(
+        "\nThe nonzero layout stays near 1.0 regardless of skew; mode-keyed\n\
+         layouts inherit the hub structure of crawled data. This is why CSTF's\n\
+         per-mode performance is uniform (Figure 5) even for \"oddly shaped\"\n\
+         tensors — and why the shuffles inside joins are the skew-sensitive\n\
+         part of the pipeline."
+    );
+    write_csv(
+        "ablation_skew",
+        &["dataset", "mode", "distinct", "hub_nnz", "nonzero_ratio", "keyed_ratio", "keyed_max"],
+        &rows,
+    );
+}

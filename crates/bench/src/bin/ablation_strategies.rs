@@ -1,0 +1,71 @@
+//! Ablation: shuffle-join CSTF (COO/QCOO) vs the broadcast-join extension.
+//!
+//! ```text
+//! cargo run --release -p cstf-bench --bin ablation_strategies -- \
+//!     [--scale 4000] [--nodes 8] [--iters 2] [--seed 0]
+//! ```
+//!
+//! The paper fetches factor rows with shuffle joins. When factor matrices
+//! fit in executor memory, broadcasting them removes every join: one
+//! shuffle per MTTKRP (the final reduce) at the cost of
+//! `Σ Iₘ·R × nodes` of broadcast traffic per MTTKRP. This experiment
+//! compares all three strategies' per-iteration bytes and modeled time,
+//! quantifying when the extension wins.
+
+use cstf_bench::*;
+use cstf_core::Strategy;
+use cstf_tensor::datasets::THIRD_ORDER;
+
+fn main() {
+    let args = Args::from_env();
+    let scale: f64 = args.parse("scale", 4000.0);
+    let nodes: usize = args.parse("nodes", 8);
+    let iters: usize = args.parse("iters", DEFAULT_ITERATIONS);
+    let seed: u64 = args.parse("seed", 0);
+    let spark = spark_model(scale);
+
+    for spec in THIRD_ORDER {
+        let tensor = spec.generate(scale, seed);
+        println!(
+            "\n=== Strategy ablation: {} (nnz {}), {} nodes ===",
+            spec.name,
+            tensor.nnz(),
+            nodes
+        );
+        let mut rows = Vec::new();
+        for strategy in [Strategy::Coo, Strategy::Qcoo, Strategy::CooBroadcast] {
+            let (m, _) = run_cstf(&tensor, strategy, nodes, iters, seed);
+            let shuffle_bytes: u64 = m
+                .shuffle_bytes_by_scope()
+                .into_iter()
+                .filter(|(s, _, _)| s.starts_with("MTTKRP"))
+                .map(|(_, r, l)| r + l)
+                .sum::<u64>()
+                / iters as u64;
+            let broadcast = m.total_broadcast_bytes() / iters as u64;
+            let secs = per_iteration_secs_amortized(&spark, &m, iters);
+            rows.push(vec![
+                strategy.to_string(),
+                format!("{}", m.significant_shuffle_count(tensor.nnz() as u64 / 2) / iters),
+                format!("{:.2} MB", shuffle_bytes as f64 / 1e6),
+                format!("{:.2} MB", broadcast as f64 / 1e6),
+                format!("{secs:.1} s"),
+            ]);
+        }
+        print_table(
+            &[
+                "strategy",
+                "tensor shuffles/iter",
+                "shuffle bytes/iter",
+                "broadcast bytes/iter",
+                "modeled time/iter",
+            ],
+            &rows,
+        );
+        write_csv(
+            &format!("ablation_strategies_{}", spec.name),
+            &["strategy", "shuffles", "shuffle_bytes", "broadcast_bytes", "secs"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Figure 4: shuffle data read from remote and local processors during
+//! one CP-ALS iteration, stacked per MTTKRP mode — COO vs QCOO on
+//! delicious3d and flickr, 8 nodes.
+//!
+//! ```text
+//! cargo run --release -p cstf-bench --bin fig4_comm -- \
+//!     [--scale 2000] [--nodes 8] [--iters 2] [--seed 0]
+//! ```
+//!
+//! These are the engine's exact byte counters (deterministic), the same
+//! two quantities Spark's metrics service reports (§6.5). Per-MTTKRP
+//! traffic is averaged over the executed iterations; one-off costs
+//! (tensor distribution, queue initialization) are amortized over the
+//! paper's 20 iterations and shown as the "Other" stack segment, matching
+//! how a 20-iteration average would report them.
+//!
+//! Expected shape: QCOO reduces both totals (paper: 35% remote / 36%
+//! local on delicious3d, 31% / 35% on flickr). Our measured savings are
+//! smaller (≈15–25%) because this engine charges every record's
+//! coordinates and value too, a constant the paper's `nnz·R` element
+//! model ignores and which dominates at the paper's R = 2 — see
+//! EXPERIMENTS.md.
+
+use cstf_bench::*;
+use cstf_core::Strategy;
+use cstf_tensor::datasets::{DatasetSpec, DELICIOUS3D, FLICKR};
+
+fn main() {
+    let args = Args::from_env();
+    let scale: f64 = args.parse("scale", 2000.0);
+    let nodes: usize = args.parse("nodes", 8);
+    let iters: usize = args.parse("iters", DEFAULT_ITERATIONS);
+    let seed: u64 = args.parse("seed", 0);
+    let datasets: [DatasetSpec; 2] = [DELICIOUS3D, FLICKR];
+
+    let mut csv = Vec::new();
+    for spec in datasets {
+        let tensor = spec.generate(scale, seed);
+        println!(
+            "\n=== Figure 4: {} @ 1/{scale:.0} (nnz {}), per CP-ALS iteration, {} nodes ===",
+            spec.name,
+            tensor.nnz(),
+            nodes
+        );
+
+        let mut totals = Vec::new();
+        for strategy in [Strategy::Coo, Strategy::Qcoo] {
+            let (metrics, _) = run_cstf(&tensor, strategy, nodes, iters, seed);
+            println!("\n{strategy} (per iteration):");
+            let mut rows = Vec::new();
+            let (mut remote_total, mut local_total) = (0.0f64, 0.0f64);
+            for (scope, remote, local) in metrics.shuffle_bytes_by_scope() {
+                let div = if scope.starts_with("MTTKRP") {
+                    iters as f64
+                } else {
+                    PAPER_ITERATIONS as f64
+                };
+                let (r, l) = (remote as f64 / div, local as f64 / div);
+                rows.push(vec![
+                    scope.clone(),
+                    format!("{:.3}", r / 1e6),
+                    format!("{:.3}", l / 1e6),
+                ]);
+                remote_total += r;
+                local_total += l;
+                csv.push(vec![
+                    spec.name.to_string(),
+                    strategy.to_string(),
+                    scope,
+                    format!("{r:.0}"),
+                    format!("{l:.0}"),
+                ]);
+            }
+            rows.push(vec![
+                "TOTAL".into(),
+                format!("{:.3}", remote_total / 1e6),
+                format!("{:.3}", local_total / 1e6),
+            ]);
+            print_table(&["scope", "remote MB", "local MB"], &rows);
+            totals.push((remote_total, local_total));
+        }
+
+        let remote_saving = 1.0 - totals[1].0 / totals[0].0;
+        let local_saving = 1.0 - totals[1].1 / totals[0].1;
+        println!(
+            "\n{}: QCOO reduces remote bytes by {:.1}% and local bytes by {:.1}% \
+             (paper: {}% remote / {}% local)",
+            spec.name,
+            remote_saving * 100.0,
+            local_saving * 100.0,
+            if spec.name == "delicious3d" { 35 } else { 31 },
+            if spec.name == "delicious3d" { 36 } else { 35 },
+        );
+    }
+    write_csv(
+        "fig4_comm",
+        &["dataset", "strategy", "scope", "remote_bytes_per_iter", "local_bytes_per_iter"],
+        &csv,
+    );
+}

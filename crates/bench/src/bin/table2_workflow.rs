@@ -1,0 +1,97 @@
+//! Table 2: stage-by-stage workflow traces of a mode-1 MTTKRP for
+//! BIGtensor, CSTF-COO and CSTF-QCOO.
+//!
+//! ```text
+//! cargo run --release -p cstf-bench --bin table2_workflow -- [--nnz 500]
+//! ```
+//!
+//! Runs each algorithm's mode-1 MTTKRP on a small tensor and prints the
+//! engine's executed stages in order — the concrete realization of the
+//! paper's Table 2 columns: which operators ran, how many records and
+//! bytes each shuffle moved, and where the stage boundaries fell.
+
+use cstf_bench::*;
+use cstf_core::factors::tensor_to_rdd;
+use cstf_core::mttkrp::{mttkrp_coo, MttkrpOptions};
+use cstf_core::qcoo::QcooState;
+use cstf_dataflow::{Cluster, ClusterConfig, JobMetrics};
+use cstf_tensor::random::RandomTensor;
+use cstf_tensor::DenseMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn print_stages(title: &str, metrics: &JobMetrics) {
+    println!("\n--- {title} ---");
+    let mut rows = Vec::new();
+    for s in metrics.stages() {
+        rows.push(vec![
+            s.stage_id.to_string(),
+            format!("{:?}", s.kind),
+            s.name.clone(),
+            s.num_tasks.to_string(),
+            s.records_out.to_string(),
+            s.shuffle_write_records.to_string(),
+            s.shuffle_write_bytes.to_string(),
+            s.shuffle_read_bytes().to_string(),
+        ]);
+    }
+    print_table(
+        &[
+            "stage", "kind", "name", "tasks", "records", "shfl w recs", "shfl w bytes",
+            "shfl r bytes",
+        ],
+        &rows,
+    );
+    println!(
+        "shuffles: {} total, {} tensor-sized",
+        metrics.shuffle_count(),
+        metrics.significant_shuffle_count(250)
+    );
+}
+
+fn main() {
+    let args = Args::from_env();
+    let nnz: usize = args.parse("nnz", 500);
+    let rank = PAPER_RANK;
+    let tensor = RandomTensor::new(vec![40, 30, 50]).nnz(nnz).seed(1).build();
+    let mut rng = StdRng::seed_from_u64(2);
+    let factors: Vec<DenseMatrix> = tensor
+        .shape()
+        .iter()
+        .map(|&s| DenseMatrix::random(s as usize, rank, &mut rng))
+        .collect();
+    println!(
+        "Table 2 workflow traces: mode-1 MTTKRP, {} nonzeros, rank {rank}",
+        tensor.nnz()
+    );
+
+    // CSTF-COO.
+    {
+        let c = Cluster::new(ClusterConfig::local(4).nodes(4).default_parallelism(8));
+        let rdd = tensor_to_rdd(&c, &tensor, 8).persist_now();
+        c.metrics().reset();
+        let _ = mttkrp_coo(&c, &rdd, &factors, tensor.shape(), 0, &MttkrpOptions::default())
+            .unwrap();
+        print_stages("CSTF-COO (Table 2, middle column)", &c.metrics().snapshot());
+    }
+
+    // CSTF-QCOO steady-state step.
+    {
+        let c = Cluster::new(ClusterConfig::local(4).nodes(4).default_parallelism(8));
+        let rdd = tensor_to_rdd(&c, &tensor, 8).persist_now();
+        let mut q = QcooState::init(&c, &rdd, &factors, tensor.shape(), rank, 8).unwrap();
+        c.metrics().reset();
+        let _ = q.step(&factors[2]).unwrap();
+        print_stages("CSTF-QCOO (Table 2, right column)", &c.metrics().snapshot());
+    }
+
+    // BIGtensor.
+    {
+        let c = Cluster::new(ClusterConfig::local(4).nodes(4).default_parallelism(8));
+        let rdd = tensor_to_rdd(&c, &tensor, 8);
+        c.metrics().reset();
+        let _ = cstf_core::bigtensor::bigtensor_mttkrp(&c, &rdd, &factors, tensor.shape(), 0, 8)
+            .unwrap();
+        print_stages("BIGtensor (Table 2, left column)", &c.metrics().snapshot());
+    }
+}

@@ -1,0 +1,109 @@
+//! Factor matrices as distributed row datasets.
+//!
+//! The paper stores factor matrices as Spark `IndexedRowMatrix` — an RDD of
+//! `(row index, row vector)` records (Table 3). These helpers move factor
+//! matrices between the driver (dense form, for grams and normal-equation
+//! solves) and the cluster (row-RDD form, for joins against tensor keys).
+
+use crate::records::Row;
+use cstf_dataflow::{Cluster, Rdd};
+use cstf_tensor::{CooTensor, DenseMatrix};
+
+use crate::records::CooRecord;
+
+/// Distributes a factor matrix as an RDD of `(row_index, row)` records
+/// (the paper's `IndexedRowMatrix`).
+pub fn factor_to_rdd(cluster: &Cluster, factor: &DenseMatrix, partitions: usize) -> Rdd<(u32, Row)> {
+    let rows: Vec<(u32, Row)> = factor
+        .rows_iter()
+        .enumerate()
+        .map(|(i, row)| (i as u32, row.into()))
+        .collect();
+    cluster.parallelize(rows, partitions)
+}
+
+/// Assembles collected `(row_index, row)` records into a dense `extent × rank`
+/// matrix. Missing rows (indices with no tensor nonzeros) stay zero —
+/// exactly what MTTKRP produces for empty slices.
+pub fn rows_to_matrix(rows: Vec<(u32, Row)>, extent: usize, rank: usize) -> DenseMatrix {
+    let mut m = DenseMatrix::zeros(extent, rank);
+    for (i, row) in rows {
+        debug_assert_eq!(row.len(), rank);
+        m.row_mut(i as usize).copy_from_slice(&row);
+    }
+    m
+}
+
+/// Distributes a sparse tensor as an RDD of [`CooRecord`]s — the paper's
+/// `RDD[Vector]` representation of `X` (Table 3).
+///
+/// The record construction is a lineage `map` step (mirroring Spark's
+/// parse of HDFS text into tuples), so an *uncached* tensor RDD pays the
+/// re-parse on every reuse — the cost the paper's §4.1 caching discussion
+/// avoids, and which the engine's `records_computed` metric captures.
+pub fn tensor_to_rdd(cluster: &Cluster, tensor: &CooTensor, partitions: usize) -> Rdd<CooRecord> {
+    let raw: Vec<(Box<[u32]>, f64)> = tensor
+        .iter()
+        .map(|(coord, val)| (Box::<[u32]>::from(coord), val))
+        .collect();
+    cluster
+        .parallelize(raw, partitions)
+        .map(|(coord, val)| CooRecord { coord, val })
+}
+
+/// Serialized size of a COO tensor on distributed storage: `N` u32 indices
+/// plus one f64 per nonzero. Used by the Hadoop platform model when
+/// charging HDFS reads.
+pub fn tensor_storage_bytes(nnz: usize, order: usize) -> u64 {
+    (nnz * (order * 4 + 8)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cstf_dataflow::ClusterConfig;
+    use cstf_tensor::random::RandomTensor;
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterConfig::local(2).nodes(2))
+    }
+
+    #[test]
+    fn factor_roundtrip() {
+        let c = cluster();
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let rdd = factor_to_rdd(&c, &m, 2);
+        assert_eq!(rdd.count(), 3);
+        let back = rows_to_matrix(rdd.collect(), 3, 2);
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn rows_to_matrix_zero_fills_missing() {
+        let rows: Vec<(u32, Row)> = vec![(2, vec![7.0, 8.0].into_boxed_slice())];
+        let m = rows_to_matrix(rows, 4, 2);
+        assert_eq!(m.row(0), &[0.0, 0.0]);
+        assert_eq!(m.row(2), &[7.0, 8.0]);
+        assert_eq!(m.row(3), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn tensor_rdd_preserves_entries() {
+        let c = cluster();
+        let t = RandomTensor::new(vec![10, 10, 10]).nnz(50).seed(1).build();
+        let rdd = tensor_to_rdd(&c, &t, 4);
+        let collected = rdd.collect();
+        assert_eq!(collected.len(), 50);
+        for (z, rec) in collected.iter().enumerate() {
+            assert_eq!(rec.coord.as_ref(), t.coord(z));
+            assert_eq!(rec.val, t.value(z));
+        }
+    }
+
+    #[test]
+    fn storage_bytes_formula() {
+        // 3rd order: 3·4 + 8 = 20 bytes per nonzero.
+        assert_eq!(tensor_storage_bytes(100, 3), 2000);
+        assert_eq!(tensor_storage_bytes(10, 4), 240);
+    }
+}

@@ -1,0 +1,391 @@
+//! CSTF-COO: distributed MTTKRP over COO key-value records (paper §4.1).
+//!
+//! The mode-`n` MTTKRP `Mₙ = Σ_z X(z) · ∗_{m≠n} A_m(i_m,:)` is executed as
+//! the Table 2 (middle column) workflow, generalized to order `N`:
+//!
+//! ```text
+//! STAGE 1..N-1 (one per non-target mode m, descending):
+//!     key tensor records by i_m  →  join with factor-m row RDD
+//!     →  multiply the joined row into the carried partial product
+//! STAGE N:
+//!     key by i_n, map to partial · X(z)  →  reduceByKey(+)  →  Mₙ rows
+//! ```
+//!
+//! Each join and the final `reduceByKey` shuffles the tensor-sized RDD once:
+//! `N` shuffles per MTTKRP, `N²` per CP-ALS iteration (Table 4). No
+//! unfolding, no Khatri-Rao materialization, no `bin()` pass.
+
+use crate::factors::{factor_to_rdd, rows_to_matrix};
+use crate::records::{add_rows, hadamard_rows, scale_row, CooRecord, Row};
+use crate::{CstfError, Result};
+use cstf_dataflow::{Cluster, Rdd};
+use cstf_tensor::DenseMatrix;
+
+/// Options for one distributed MTTKRP.
+#[derive(Debug, Clone, Default)]
+pub struct MttkrpOptions {
+    /// Shuffle partition count (defaults to the cluster's parallelism).
+    pub partitions: Option<usize>,
+    /// Combine rows map-side in the final `reduceByKey` (Spark's default;
+    /// off here to match the paper's Table 4 accounting — see the
+    /// `ablation_combine` experiment).
+    pub map_side_combine: bool,
+}
+
+fn check(factors: &[DenseMatrix], shape: &[u32], mode: usize) -> Result<usize> {
+    if factors.len() != shape.len() {
+        return Err(CstfError::Config(format!(
+            "{} factors for an order-{} tensor",
+            factors.len(),
+            shape.len()
+        )));
+    }
+    if mode >= shape.len() {
+        return Err(CstfError::Config(format!(
+            "mode {mode} out of range for order {}",
+            shape.len()
+        )));
+    }
+    let rank = factors[0].cols();
+    for (m, f) in factors.iter().enumerate() {
+        if f.cols() != rank || f.rows() != shape[m] as usize {
+            return Err(CstfError::Config(format!(
+                "factor {m} is {}x{}, expected {}x{rank}",
+                f.rows(),
+                f.cols(),
+                shape[m]
+            )));
+        }
+    }
+    Ok(rank)
+}
+
+/// The join order CSTF-COO uses for output mode `n`: all non-target modes,
+/// descending (for mode 1 of a 3rd-order tensor: mode 3 (`C`) then mode 2
+/// (`B`) — exactly STAGE 1 and 2 of Table 2).
+pub fn join_order(order: usize, mode: usize) -> Vec<usize> {
+    (0..order).rev().filter(|&m| m != mode).collect()
+}
+
+/// Distributed mode-`n` MTTKRP over a tensor RDD.
+///
+/// `tensor` is the COO record RDD (cache it across calls — CP-ALS reuses
+/// it every iteration, paper §4.1 "Caching"); `factors` are the current
+/// driver-side factor matrices; the result is the dense `Iₙ × R` MTTKRP
+/// output assembled on the driver.
+pub fn mttkrp_coo(
+    cluster: &Cluster,
+    tensor: &Rdd<CooRecord>,
+    factors: &[DenseMatrix],
+    shape: &[u32],
+    mode: usize,
+    opts: &MttkrpOptions,
+) -> Result<DenseMatrix> {
+    let rank = check(factors, shape, mode)?;
+    let partitions = opts
+        .partitions
+        .unwrap_or(cluster.config().default_parallelism);
+
+    let joins = join_order(shape.len(), mode);
+
+    // STAGE 1: key by the first join mode and join that factor's rows.
+    let first = joins[0];
+    let keyed: Rdd<(u32, CooRecord)> = tensor.map(move |rec| (rec.coord[first], rec));
+    let factor_rdd = factor_to_rdd(cluster, &factors[first], partitions);
+    // After the join, re-key for the next stage (or the final reduce).
+    let next_key_mode = *joins.get(1).unwrap_or(&mode);
+    let mut state: Rdd<(u32, (CooRecord, Row))> = keyed
+        .join_with(&factor_rdd, partitions)
+        .map(move |(_, (rec, row))| (rec.coord[next_key_mode], (rec, row)));
+
+    // STAGES 2..N-1: join remaining factors, folding rows into the partial
+    // Hadamard product.
+    for (idx, &m) in joins.iter().enumerate().skip(1) {
+        let factor_rdd = factor_to_rdd(cluster, &factors[m], partitions);
+        let next_key_mode = *joins.get(idx + 1).unwrap_or(&mode);
+        state = state
+            .join_with(&factor_rdd, partitions)
+            .map(move |(_, ((rec, partial), row))| {
+                let combined = hadamard_rows(&partial, &row);
+                (rec.coord[next_key_mode], (rec, combined))
+            });
+    }
+
+    // STAGE N: scale by the tensor value and sum rows per output index.
+    let rows = state
+        .map_values(|(rec, partial)| scale_row(partial, rec.val))
+        .reduce_by_key_with(partitions, opts.map_side_combine, add_rows)
+        .collect();
+
+    Ok(rows_to_matrix(rows, shape[mode] as usize, rank))
+}
+
+/// Broadcast-join MTTKRP — an extension beyond the paper.
+///
+/// Instead of shuffling the tensor once per non-target mode to fetch
+/// factor rows, every factor matrix is *broadcast* to all nodes and each
+/// partition computes its partial products locally; only the final
+/// `reduceByKey` shuffles (`1` shuffle per MTTKRP instead of `N`). This
+/// trades `Σ Iₘ·R` of broadcast traffic per MTTKRP against `(N−1)`
+/// tensor-sized shuffles — a win whenever factor matrices are much
+/// smaller than `nnz`, which holds for every dataset in the paper. The
+/// `ablation_strategies` experiment quantifies the trade-off.
+pub fn mttkrp_coo_broadcast(
+    cluster: &Cluster,
+    tensor: &Rdd<CooRecord>,
+    factors: &[DenseMatrix],
+    shape: &[u32],
+    mode: usize,
+    opts: &MttkrpOptions,
+) -> Result<DenseMatrix> {
+    let rank = check(factors, shape, mode)?;
+    let partitions = opts
+        .partitions
+        .unwrap_or(cluster.config().default_parallelism);
+
+    // Broadcast the non-target factors (metered by the engine).
+    let non_target: Vec<DenseMatrix> = (0..shape.len())
+        .filter(|&m| m != mode)
+        .map(|m| factors[m].clone())
+        .collect();
+    let modes: Vec<usize> = (0..shape.len()).filter(|&m| m != mode).collect();
+    let bcast = cluster.broadcast(FactorSet {
+        modes,
+        factors: non_target,
+    });
+
+    let rows = tensor
+        .map(move |rec| {
+            let set = bcast.value();
+            let mut acc: Vec<f64> = vec![rec.val; rank];
+            for (&m, f) in set.modes.iter().zip(&set.factors) {
+                let row = f.row(rec.coord[m] as usize);
+                for (a, &x) in acc.iter_mut().zip(row) {
+                    *a *= x;
+                }
+            }
+            (rec.coord[mode], acc.into_boxed_slice())
+        })
+        .reduce_by_key_with(partitions, opts.map_side_combine, add_rows)
+        .collect();
+    Ok(rows_to_matrix(rows, shape[mode] as usize, rank))
+}
+
+/// The broadcast payload: non-target factor matrices plus their modes.
+struct FactorSet {
+    modes: Vec<usize>,
+    factors: Vec<DenseMatrix>,
+}
+
+impl cstf_dataflow::EstimateSize for FactorSet {
+    fn estimate_size(&self) -> usize {
+        4 + self
+            .factors
+            .iter()
+            .map(|f| 8 + f.rows() * f.cols() * 8)
+            .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factors::tensor_to_rdd;
+    use cstf_dataflow::ClusterConfig;
+    use cstf_tensor::random::RandomTensor;
+    use cstf_tensor::{mttkrp::mttkrp as mttkrp_seq, CooTensor};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterConfig::local(4).nodes(4))
+    }
+
+    fn random_factors(shape: &[u32], rank: usize, seed: u64) -> Vec<DenseMatrix> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        shape
+            .iter()
+            .map(|&s| DenseMatrix::random(s as usize, rank, &mut rng))
+            .collect()
+    }
+
+    fn run_all_modes(t: &CooTensor, rank: usize, seed: u64) {
+        let c = cluster();
+        let rdd = tensor_to_rdd(&c, t, 8).cache();
+        let factors = random_factors(t.shape(), rank, seed);
+        let refs: Vec<&DenseMatrix> = factors.iter().collect();
+        for mode in 0..t.order() {
+            let dist = mttkrp_coo(
+                &c,
+                &rdd,
+                &factors,
+                t.shape(),
+                mode,
+                &MttkrpOptions::default(),
+            )
+            .unwrap();
+            let seq = mttkrp_seq(t, &refs, mode).unwrap();
+            let diff = dist.max_abs_diff(&seq);
+            assert!(diff < 1e-9, "mode {mode}: diff {diff}");
+        }
+    }
+
+    #[test]
+    fn matches_sequential_third_order() {
+        let t = RandomTensor::new(vec![12, 9, 15]).nnz(200).seed(3).build();
+        run_all_modes(&t, 3, 11);
+    }
+
+    #[test]
+    fn matches_sequential_fourth_order() {
+        let t = RandomTensor::new(vec![8, 6, 7, 5]).nnz(150).seed(4).build();
+        run_all_modes(&t, 2, 12);
+    }
+
+    #[test]
+    fn matches_sequential_fifth_order() {
+        let t = RandomTensor::new(vec![5, 4, 6, 3, 4]).nnz(80).seed(5).build();
+        run_all_modes(&t, 2, 13);
+    }
+
+    #[test]
+    fn join_order_is_descending_non_target() {
+        assert_eq!(join_order(3, 0), vec![2, 1]);
+        assert_eq!(join_order(3, 1), vec![2, 0]);
+        assert_eq!(join_order(3, 2), vec![1, 0]);
+        assert_eq!(join_order(4, 1), vec![3, 2, 0]);
+    }
+
+    #[test]
+    fn shuffle_count_matches_table4() {
+        // An order-N MTTKRP performs N tensor-sized shuffles: N−1 joins +
+        // 1 reduceByKey (Table 4: 3 for a 3rd-order tensor).
+        let t = RandomTensor::new(vec![10, 10, 10]).nnz(300).seed(6).build();
+        let c = cluster();
+        let rdd = tensor_to_rdd(&c, &t, 8).persist_now();
+        let factors = random_factors(t.shape(), 2, 1);
+        c.metrics().reset();
+        let _ = mttkrp_coo(&c, &rdd, &factors, t.shape(), 0, &MttkrpOptions::default()).unwrap();
+        let m = c.metrics().snapshot();
+        // Tensor-sized shuffles only (factor-row sides are small).
+        assert_eq!(m.significant_shuffle_count(t.nnz() as u64 / 2), 3);
+        // Raw shuffle-map stages: 2 joins × 2 sides + 1 reduce = 5.
+        assert_eq!(m.shuffle_count(), 5);
+    }
+
+    #[test]
+    fn intermediate_data_close_to_nnz_r() {
+        // Table 4: COO intermediate data is nnz × R (one carried row per
+        // record). Check the reduce stage's written bytes.
+        let t = RandomTensor::new(vec![20, 20, 20]).nnz(500).seed(7).build();
+        let c = cluster();
+        let rdd = tensor_to_rdd(&c, &t, 8).persist_now();
+        let rank = 4;
+        let factors = random_factors(t.shape(), rank, 2);
+        c.metrics().reset();
+        let _ = mttkrp_coo(&c, &rdd, &factors, t.shape(), 0, &MttkrpOptions::default()).unwrap();
+        let m = c.metrics().snapshot();
+        let reduce_stage = m
+            .stages()
+            .filter(|s| s.name.contains("reduce_by_key"))
+            .next()
+            .unwrap();
+        // Each reduce record: key 4 + row (4 + 8R) bytes.
+        let expect = (t.nnz() * (8 + 8 * rank)) as u64;
+        assert_eq!(reduce_stage.shuffle_write_bytes, expect);
+        assert_eq!(reduce_stage.shuffle_write_records, t.nnz() as u64);
+    }
+
+    #[test]
+    fn empty_mode_rows_are_zero() {
+        // Index 9 in mode 0 has no nonzeros: its MTTKRP row must be zero.
+        let t = CooTensor::from_entries(vec![10, 4, 4], vec![(vec![0, 1, 2], 5.0)]).unwrap();
+        let c = cluster();
+        let rdd = tensor_to_rdd(&c, &t, 2);
+        let factors = random_factors(t.shape(), 2, 3);
+        let m = mttkrp_coo(&c, &rdd, &factors, t.shape(), 0, &MttkrpOptions::default()).unwrap();
+        assert_eq!(m.row(9), &[0.0, 0.0]);
+        assert_ne!(m.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn broadcast_matches_shuffle_join_all_modes() {
+        let t = RandomTensor::new(vec![12, 9, 15]).nnz(200).seed(8).build();
+        let c = cluster();
+        let rdd = tensor_to_rdd(&c, &t, 8).persist_now();
+        let factors = random_factors(t.shape(), 3, 14);
+        for mode in 0..3 {
+            let shuffle = mttkrp_coo(&c, &rdd, &factors, t.shape(), mode, &MttkrpOptions::default())
+                .unwrap();
+            let broadcast =
+                mttkrp_coo_broadcast(&c, &rdd, &factors, t.shape(), mode, &MttkrpOptions::default())
+                    .unwrap();
+            assert!(broadcast.max_abs_diff(&shuffle) < 1e-9, "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn broadcast_uses_one_shuffle_and_meters_broadcast_bytes() {
+        let t = RandomTensor::new(vec![10, 10, 10]).nnz(300).seed(9).build();
+        let c = cluster();
+        let rdd = tensor_to_rdd(&c, &t, 8).persist_now();
+        let factors = random_factors(t.shape(), 2, 15);
+        c.metrics().reset();
+        let _ = mttkrp_coo_broadcast(&c, &rdd, &factors, t.shape(), 0, &MttkrpOptions::default())
+            .unwrap();
+        let m = c.metrics().snapshot();
+        assert_eq!(m.significant_shuffle_count(t.nnz() as u64 / 2), 1);
+        // Two 10×2 factors broadcast to 3 remote nodes.
+        assert!(m.total_broadcast_bytes() > 0);
+    }
+
+    #[test]
+    fn map_side_combine_reduces_reduce_traffic() {
+        // Mode with few distinct indices: combining collapses records.
+        let t = RandomTensor::new(vec![4, 40, 40]).nnz(400).seed(10).build();
+        let c = cluster();
+        let rdd = tensor_to_rdd(&c, &t, 8).persist_now();
+        let factors = random_factors(t.shape(), 2, 16);
+        let reduce_bytes = |combine: bool| {
+            c.metrics().reset();
+            let _ = mttkrp_coo(
+                &c,
+                &rdd,
+                &factors,
+                t.shape(),
+                0,
+                &MttkrpOptions {
+                    partitions: None,
+                    map_side_combine: combine,
+                },
+            )
+            .unwrap();
+            let m = c.metrics().snapshot();
+            m.stages()
+                .filter(|s| s.name.contains("reduce_by_key"))
+                .map(|s| s.shuffle_write_bytes)
+                .sum::<u64>()
+        };
+        let plain = reduce_bytes(false);
+        let combined = reduce_bytes(true);
+        assert!(
+            combined * 2 < plain,
+            "combining did not help: {combined} vs {plain}"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let t = RandomTensor::new(vec![4, 4, 4]).nnz(10).seed(1).build();
+        let c = cluster();
+        let rdd = tensor_to_rdd(&c, &t, 2);
+        let factors = random_factors(t.shape(), 2, 1);
+        assert!(matches!(
+            mttkrp_coo(&c, &rdd, &factors[..2], t.shape(), 0, &MttkrpOptions::default()),
+            Err(CstfError::Config(_))
+        ));
+        assert!(matches!(
+            mttkrp_coo(&c, &rdd, &factors, t.shape(), 5, &MttkrpOptions::default()),
+            Err(CstfError::Config(_))
+        ));
+    }
+}

@@ -1,0 +1,110 @@
+//! Broadcast variables: read-only values shipped once to every node.
+//!
+//! Spark broadcasts small datasets (like a factor matrix) to all
+//! executors instead of shuffling them through a join. The CSTF paper's
+//! algorithms use shuffle joins throughout; the `cstf-core` crate offers a
+//! broadcast-join MTTKRP as a *documented extension* and the ablation
+//! benches compare the two. Broadcasting is metered: distributing a value
+//! costs `estimate × (nodes − 1)` remote bytes (every node but the origin
+//! fetches a copy), recorded as a dedicated event so the time model can
+//! charge it.
+
+use crate::context::Cluster;
+use crate::size::EstimateSize;
+use std::sync::Arc;
+
+/// A value replicated to every simulated node. Cheap to clone; all clones
+/// share the payload.
+#[derive(Debug)]
+pub struct Broadcast<T> {
+    value: Arc<T>,
+    bytes: u64,
+}
+
+impl<T> Clone for Broadcast<T> {
+    fn clone(&self) -> Self {
+        Broadcast {
+            value: self.value.clone(),
+            bytes: self.bytes,
+        }
+    }
+}
+
+impl<T> Broadcast<T> {
+    /// The broadcast payload.
+    #[inline]
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+
+    /// Estimated serialized size of one replica.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl<T> std::ops::Deref for Broadcast<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl Cluster {
+    /// Broadcasts `value` to every simulated node, recording the network
+    /// cost (`size × (nodes − 1)` remote bytes) into the metrics log as a
+    /// disk-free transfer event.
+    pub fn broadcast<T: EstimateSize + Send + Sync>(&self, value: T) -> Broadcast<T> {
+        let bytes = value.estimate_size() as u64;
+        let replicas = self.config().nodes.saturating_sub(1) as u64;
+        self.metrics().record_broadcast(bytes * replicas);
+        Broadcast {
+            value: Arc::new(value),
+            bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+
+    #[test]
+    fn broadcast_value_accessible_and_shared() {
+        let c = Cluster::new(ClusterConfig::local(2).nodes(4));
+        let b = c.broadcast(vec![1.0f64, 2.0, 3.0]);
+        assert_eq!(b.value().len(), 3);
+        assert_eq!(b[1], 2.0);
+        let b2 = b.clone();
+        assert!(std::ptr::eq(b.value(), b2.value()));
+    }
+
+    #[test]
+    fn broadcast_cost_scales_with_nodes() {
+        let c = Cluster::new(ClusterConfig::local(2).nodes(5));
+        let payload = vec![0u64; 100]; // 4 + 800 bytes
+        let b = c.broadcast(payload);
+        assert_eq!(b.bytes(), 804);
+        let m = c.metrics().snapshot();
+        assert_eq!(m.total_broadcast_bytes(), 804 * 4);
+    }
+
+    #[test]
+    fn single_node_broadcast_is_free() {
+        let c = Cluster::new(ClusterConfig::local(2).nodes(1));
+        let _ = c.broadcast(7u64);
+        assert_eq!(c.metrics().snapshot().total_broadcast_bytes(), 0);
+    }
+
+    #[test]
+    fn usable_inside_tasks() {
+        let c = Cluster::new(ClusterConfig::local(2).nodes(2));
+        let lookup = c.broadcast(vec![10u32, 20, 30]);
+        let out = c
+            .parallelize(vec![0usize, 1, 2, 1], 2)
+            .map(move |i| lookup[i])
+            .collect();
+        assert_eq!(out, vec![10, 20, 30, 20]);
+    }
+}

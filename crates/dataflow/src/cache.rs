@@ -1,0 +1,185 @@
+//! Block manager: in-memory RDD caching.
+//!
+//! CSTF caches the tensor RDD so CP-ALS iterations reuse it without
+//! recomputation ("keeping the tensor in memory can improve the performance
+//! significantly since the tensor data is reused across iterations", paper
+//! §4.1), and QCOO explicitly unpersists the previous MTTKRP's queue RDD
+//! (§4.2). The block manager stores computed partitions keyed by
+//! `(rdd_id, partition)`.
+
+use crate::hash::FxHashMap;
+use parking_lot::Mutex;
+use std::any::Any;
+use std::sync::Arc;
+
+/// Where/how a cached partition is stored. Both levels keep data in memory
+/// (this is a single-process engine); `MemorySerialized` additionally
+/// records the estimated serialized footprint, mirroring Spark's
+/// `MEMORY_ONLY_SER`. The paper uses raw caching ("we cache the tensors
+/// using the raw format", §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageLevel {
+    /// Raw object storage (Spark `MEMORY_ONLY`).
+    MemoryRaw,
+    /// Serialized storage — byte footprint tracked (Spark `MEMORY_ONLY_SER`).
+    MemorySerialized,
+}
+
+struct Block {
+    data: Arc<dyn Any + Send + Sync>,
+    bytes: u64,
+    level: StorageLevel,
+}
+
+/// Thread-safe cache of computed partitions.
+#[derive(Default)]
+pub struct BlockManager {
+    blocks: Mutex<FxHashMap<(usize, usize), Block>>,
+}
+
+impl BlockManager {
+    /// Creates an empty block manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores a computed partition.
+    pub fn put<T: Send + Sync + 'static>(
+        &self,
+        rdd_id: usize,
+        partition: usize,
+        data: Vec<T>,
+        bytes: u64,
+        level: StorageLevel,
+    ) {
+        self.blocks.lock().insert(
+            (rdd_id, partition),
+            Block {
+                data: Arc::new(data),
+                bytes,
+                level,
+            },
+        );
+    }
+
+    /// Fetches a cached partition, cloning the records out.
+    pub fn get<T: Clone + Send + Sync + 'static>(
+        &self,
+        rdd_id: usize,
+        partition: usize,
+    ) -> Option<Vec<T>> {
+        let blocks = self.blocks.lock();
+        let block = blocks.get(&(rdd_id, partition))?;
+        let data = block
+            .data
+            .downcast_ref::<Vec<T>>()
+            .expect("cached block read with mismatched type");
+        Some(data.clone())
+    }
+
+    /// Whether a specific partition is cached.
+    pub fn contains(&self, rdd_id: usize, partition: usize) -> bool {
+        self.blocks.lock().contains_key(&(rdd_id, partition))
+    }
+
+    /// Whether *all* `num_partitions` partitions of an RDD are cached
+    /// (lets the scheduler prune lineage above a fully-cached RDD).
+    pub fn has_all(&self, rdd_id: usize, num_partitions: usize) -> bool {
+        let blocks = self.blocks.lock();
+        (0..num_partitions).all(|p| blocks.contains_key(&(rdd_id, p)))
+    }
+
+    /// Drops every cached block for which `lost(partition)` is true — the
+    /// cache loss caused by a node failure. Returns evicted block count.
+    pub fn remove_where(&self, lost: impl Fn(usize) -> bool) -> usize {
+        let mut blocks = self.blocks.lock();
+        let before = blocks.len();
+        blocks.retain(|&(_, partition), _| !lost(partition));
+        before - blocks.len()
+    }
+
+    /// Drops every cached partition of an RDD (Spark `unpersist`).
+    /// Returns how many blocks were evicted.
+    pub fn remove_rdd(&self, rdd_id: usize) -> usize {
+        let mut blocks = self.blocks.lock();
+        let before = blocks.len();
+        blocks.retain(|&(id, _), _| id != rdd_id);
+        before - blocks.len()
+    }
+
+    /// Estimated bytes held by serialized-level blocks (raw blocks report
+    /// their tracked size too when one was recorded).
+    pub fn total_bytes(&self) -> u64 {
+        self.blocks.lock().values().map(|b| b.bytes).sum()
+    }
+
+    /// Number of cached blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.lock().is_empty()
+    }
+
+    /// Storage level of a cached partition, if present.
+    pub fn level_of(&self, rdd_id: usize, partition: usize) -> Option<StorageLevel> {
+        self.blocks.lock().get(&(rdd_id, partition)).map(|b| b.level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let bm = BlockManager::new();
+        bm.put(1, 0, vec![1u32, 2, 3], 12, StorageLevel::MemoryRaw);
+        assert_eq!(bm.get::<u32>(1, 0), Some(vec![1, 2, 3]));
+        assert_eq!(bm.get::<u32>(1, 1), None);
+        assert_eq!(bm.get::<u32>(2, 0), None);
+        assert!(bm.contains(1, 0));
+        assert_eq!(bm.level_of(1, 0), Some(StorageLevel::MemoryRaw));
+    }
+
+    #[test]
+    fn has_all_requires_every_partition() {
+        let bm = BlockManager::new();
+        bm.put(7, 0, vec![0u8], 1, StorageLevel::MemoryRaw);
+        bm.put(7, 2, vec![0u8], 1, StorageLevel::MemoryRaw);
+        assert!(!bm.has_all(7, 3));
+        bm.put(7, 1, vec![0u8], 1, StorageLevel::MemoryRaw);
+        assert!(bm.has_all(7, 3));
+    }
+
+    #[test]
+    fn remove_rdd_evicts_only_that_rdd() {
+        let bm = BlockManager::new();
+        bm.put(1, 0, vec![0u8], 1, StorageLevel::MemoryRaw);
+        bm.put(1, 1, vec![0u8], 1, StorageLevel::MemoryRaw);
+        bm.put(2, 0, vec![0u8], 1, StorageLevel::MemoryRaw);
+        assert_eq!(bm.remove_rdd(1), 2);
+        assert_eq!(bm.len(), 1);
+        assert!(bm.contains(2, 0));
+        assert_eq!(bm.remove_rdd(99), 0);
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let bm = BlockManager::new();
+        bm.put(1, 0, vec![0u64; 4], 32, StorageLevel::MemorySerialized);
+        bm.put(1, 1, vec![0u64; 2], 16, StorageLevel::MemorySerialized);
+        assert_eq!(bm.total_bytes(), 48);
+        assert!(!bm.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched type")]
+    fn type_confusion_panics() {
+        let bm = BlockManager::new();
+        bm.put(1, 0, vec![1u32], 4, StorageLevel::MemoryRaw);
+        let _ = bm.get::<u64>(1, 0);
+    }
+}

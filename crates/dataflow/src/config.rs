@@ -1,0 +1,117 @@
+//! Cluster configuration.
+
+/// Configuration for a [`crate::Cluster`].
+///
+/// The engine executes on local OS threads (`executor_threads`) while
+/// *simulating* a cluster of `nodes` machines: partition `p` is placed on
+/// node `p % nodes`, which determines whether shuffled bytes count as
+/// remote or local. `default_parallelism` is the partition count used when
+/// an operation does not specify one (Spark's `spark.default.parallelism`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Number of simulated worker nodes (the x-axis of Figures 2/3).
+    pub nodes: usize,
+    /// Cores per simulated node; enters the [`crate::sim::TimeModel`]
+    /// (the paper's Comet nodes have 24).
+    pub cores_per_node: usize,
+    /// Local OS threads executing tasks.
+    pub executor_threads: usize,
+    /// Partition count used by operations that don't specify one.
+    pub default_parallelism: usize,
+}
+
+impl ClusterConfig {
+    /// A local configuration with `threads` executor threads, one simulated
+    /// node and `2 × threads` default partitions.
+    pub fn local(threads: usize) -> Self {
+        let threads = threads.max(1);
+        ClusterConfig {
+            nodes: 1,
+            cores_per_node: threads,
+            executor_threads: threads,
+            default_parallelism: 2 * threads,
+        }
+    }
+
+    /// A local configuration sized to the host's available parallelism.
+    pub fn auto() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        ClusterConfig::local(threads)
+    }
+
+    /// Sets the simulated node count. Default parallelism is raised to at
+    /// least 4 partitions per node so every simulated node gets work.
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        assert!(nodes > 0, "cluster must have at least one node");
+        self.nodes = nodes;
+        self.default_parallelism = self.default_parallelism.max(4 * nodes);
+        self
+    }
+
+    /// Sets cores per simulated node.
+    pub fn cores_per_node(mut self, cores: usize) -> Self {
+        assert!(cores > 0);
+        self.cores_per_node = cores;
+        self
+    }
+
+    /// Sets the default partition count.
+    pub fn default_parallelism(mut self, partitions: usize) -> Self {
+        assert!(partitions > 0);
+        self.default_parallelism = partitions;
+        self
+    }
+
+    /// Simulated node that hosts partition `p`.
+    #[inline]
+    pub fn node_of(&self, partition: usize) -> usize {
+        partition % self.nodes
+    }
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig::auto()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_defaults() {
+        let c = ClusterConfig::local(4);
+        assert_eq!(c.nodes, 1);
+        assert_eq!(c.executor_threads, 4);
+        assert_eq!(c.default_parallelism, 8);
+    }
+
+    #[test]
+    fn nodes_raises_parallelism() {
+        let c = ClusterConfig::local(2).nodes(8);
+        assert_eq!(c.nodes, 8);
+        assert!(c.default_parallelism >= 32);
+    }
+
+    #[test]
+    fn node_placement_round_robin() {
+        let c = ClusterConfig::local(2).nodes(4);
+        assert_eq!(c.node_of(0), 0);
+        assert_eq!(c.node_of(5), 1);
+        assert_eq!(c.node_of(7), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = ClusterConfig::local(1).nodes(0);
+    }
+
+    #[test]
+    fn local_zero_threads_clamped() {
+        assert_eq!(ClusterConfig::local(0).executor_threads, 1);
+    }
+}

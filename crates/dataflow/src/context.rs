@@ -1,0 +1,291 @@
+//! The cluster driver: owns executor, shuffle service, cache and metrics,
+//! and schedules jobs stage-by-stage like Spark's DAGScheduler.
+
+use crate::cache::BlockManager;
+use crate::config::ClusterConfig;
+use crate::executor::Executor;
+use crate::hash::FxHashSet;
+use crate::metrics::{MetricsRegistry, StageCollector, StageKind};
+use crate::rdd::{Dependency, NodeInfo, Rdd, RddNode, ShuffleDependency};
+use crate::shuffle::ShuffleService;
+use crate::Data;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct ClusterInner {
+    config: ClusterConfig,
+    executor: Executor,
+    shuffle: Arc<ShuffleService>,
+    blocks: BlockManager,
+    metrics: MetricsRegistry,
+    next_shuffle_id: AtomicUsize,
+}
+
+/// Handle to a simulated cluster. Cheap to clone (an `Arc` inside);
+/// all clones share executor, shuffle data, cache and metrics.
+#[derive(Clone)]
+pub struct Cluster {
+    inner: Arc<ClusterInner>,
+}
+
+/// Per-task execution context handed to [`RddNode::compute`].
+pub struct TaskContext<'a> {
+    /// The cluster the task runs on.
+    pub cluster: &'a Cluster,
+    /// Metrics sink for the currently running stage.
+    pub stage: &'a StageCollector,
+    /// Partition index this task computes.
+    pub partition: usize,
+}
+
+impl Cluster {
+    /// Creates a cluster with the given configuration.
+    pub fn new(config: ClusterConfig) -> Self {
+        let executor = Executor::new(config.executor_threads);
+        Cluster {
+            inner: Arc::new(ClusterInner {
+                config,
+                executor,
+                shuffle: Arc::new(ShuffleService::new()),
+                blocks: BlockManager::new(),
+                metrics: MetricsRegistry::new(),
+                next_shuffle_id: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// Cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.inner.config
+    }
+
+    /// Metrics log.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
+    }
+
+    /// Shuffle data service.
+    pub fn shuffle_service(&self) -> &ShuffleService {
+        &self.inner.shuffle
+    }
+
+    /// Shared handle to the shuffle service (used by shuffle dependencies
+    /// for reference-based cleanup).
+    pub(crate) fn shuffle_service_arc(&self) -> Arc<ShuffleService> {
+        self.inner.shuffle.clone()
+    }
+
+    /// Cache of computed partitions.
+    pub fn block_manager(&self) -> &BlockManager {
+        &self.inner.blocks
+    }
+
+    /// Allocates a fresh shuffle id.
+    pub(crate) fn next_shuffle_id(&self) -> usize {
+        self.inner.next_shuffle_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Distributes `data` over `partitions` partitions (Spark
+    /// `parallelize`). Elements are split into contiguous, nearly-equal
+    /// chunks.
+    pub fn parallelize<T: Data>(&self, data: Vec<T>, partitions: usize) -> Rdd<T> {
+        Rdd::parallelize(self.clone(), data, partitions.max(1))
+    }
+
+    /// [`Cluster::parallelize`] with the configured default parallelism.
+    pub fn parallelize_default<T: Data>(&self, data: Vec<T>) -> Rdd<T> {
+        let p = self.inner.config.default_parallelism;
+        self.parallelize(data, p)
+    }
+
+    /// Simulates the failure of one worker node: every cached partition
+    /// and every shuffle map output living on that node is lost. Later
+    /// jobs transparently recover by recomputing exactly the lost pieces
+    /// from lineage — the fault-tolerance property (Zaharia et al., NSDI
+    /// 2012) that motivates building tensor factorization on RDDs in the
+    /// first place (paper §1). Returns `(cache_blocks, map_outputs)` lost.
+    pub fn simulate_node_failure(&self, node: usize) -> (usize, usize) {
+        let config = self.inner.config.clone();
+        let blocks = self
+            .inner
+            .blocks
+            .remove_where(|partition| config.node_of(partition) == node);
+        let config = self.inner.config.clone();
+        let outputs = self
+            .inner
+            .shuffle
+            .remove_map_outputs_where(|map_partition| config.node_of(map_partition) == node);
+        (blocks, outputs)
+    }
+
+    /// Walks `root`'s lineage and materializes every pending shuffle
+    /// dependency, parents before children. Lineage is pruned below
+    /// fully-cached RDDs and already-materialized shuffles.
+    pub(crate) fn ensure_dependencies(&self, root: Arc<dyn NodeInfo>) {
+        let mut pending: Vec<Arc<dyn ShuffleDependency>> = Vec::new();
+        let mut seen_nodes: FxHashSet<usize> = FxHashSet::default();
+        let mut seen_shuffles: FxHashSet<usize> = FxHashSet::default();
+        self.visit(root, &mut pending, &mut seen_nodes, &mut seen_shuffles);
+        for dep in pending {
+            dep.materialize(self);
+        }
+    }
+
+    fn visit(
+        &self,
+        node: Arc<dyn NodeInfo>,
+        pending: &mut Vec<Arc<dyn ShuffleDependency>>,
+        seen_nodes: &mut FxHashSet<usize>,
+        seen_shuffles: &mut FxHashSet<usize>,
+    ) {
+        if !seen_nodes.insert(node.id()) {
+            return;
+        }
+        for dep in node.deps() {
+            match dep {
+                Dependency::Narrow(parent) => {
+                    self.visit(parent, pending, seen_nodes, seen_shuffles)
+                }
+                Dependency::Shuffle(shuffle) => {
+                    if seen_shuffles.insert(shuffle.shuffle_id())
+                        && !shuffle.materialized(self)
+                    {
+                        // Post-order: upstream shuffles first.
+                        self.visit(shuffle.parent_info(), pending, seen_nodes, seen_shuffles);
+                        pending.push(shuffle);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs an action: materializes dependencies, then executes one result
+    /// task per partition of `node`, applying `f` to each partition's
+    /// records. Returns per-partition results in partition order.
+    pub(crate) fn run_job<T: Data, U: Send>(
+        &self,
+        node: &Arc<dyn RddNode<T>>,
+        name: &str,
+        f: impl Fn(usize, Vec<T>) -> U + Send + Sync,
+    ) -> Vec<U> {
+        let info: Arc<dyn NodeInfo> = node.clone();
+        self.ensure_dependencies(info);
+
+        let nodes = self.inner.config.nodes;
+        let collector = self
+            .inner
+            .metrics
+            .begin_stage(name, StageKind::Result, nodes);
+        let num_partitions = node.num_partitions();
+        let tasks: Vec<_> = (0..num_partitions)
+            .map(|p| {
+                let node = node.clone();
+                let collector = &collector;
+                let f = &f;
+                move || {
+                    let ctx = TaskContext {
+                        cluster: self,
+                        stage: collector,
+                        partition: p,
+                    };
+                    let t0 = Instant::now();
+                    let data = node.compute(p, &ctx);
+                    let records = data.len() as u64;
+                    let out = f(p, data);
+                    collector.record_task(
+                        self.inner.config.node_of(p),
+                        t0.elapsed().as_secs_f64(),
+                        records,
+                    );
+                    out
+                }
+            })
+            .collect();
+        let results = self.inner.executor.run(tasks);
+        self.inner.metrics.finish_stage(collector);
+        results
+    }
+
+    /// Runs one shuffle-map stage over the given partitions of `parent`,
+    /// writing `write_output` per partition. Used by shuffle dependencies
+    /// during (re-)materialization; after a node failure only the lost map
+    /// partitions are listed, so recovery work is proportional to the
+    /// loss (Spark's lineage-based recomputation).
+    pub(crate) fn run_shuffle_map_stage<T: Data>(
+        &self,
+        parent: &Arc<dyn RddNode<T>>,
+        name: &str,
+        partitions: Vec<usize>,
+        write_output: impl Fn(usize, Vec<T>, &StageCollector) + Send + Sync,
+    ) {
+        let nodes = self.inner.config.nodes;
+        let collector = self
+            .inner
+            .metrics
+            .begin_stage(name, StageKind::ShuffleMap, nodes);
+        let tasks: Vec<_> = partitions
+            .into_iter()
+            .map(|p| {
+                let parent = parent.clone();
+                let collector = &collector;
+                let write_output = &write_output;
+                move || {
+                    let ctx = TaskContext {
+                        cluster: self,
+                        stage: collector,
+                        partition: p,
+                    };
+                    let t0 = Instant::now();
+                    let data = parent.compute(p, &ctx);
+                    let records = data.len() as u64;
+                    write_output(p, data, collector);
+                    collector.record_task(
+                        self.inner.config.node_of(p),
+                        t0.elapsed().as_secs_f64(),
+                        records,
+                    );
+                }
+            })
+            .collect();
+        self.inner.executor.run(tasks);
+        self.inner.metrics.finish_stage(collector);
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("config", &self.inner.config)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let c1 = Cluster::new(ClusterConfig::local(2));
+        let c2 = c1.clone();
+        c1.metrics().record_disk_read(10);
+        assert_eq!(c2.metrics().snapshot().total_disk_read(), 10);
+    }
+
+    #[test]
+    fn shuffle_ids_unique() {
+        let c = Cluster::new(ClusterConfig::local(1));
+        let a = c.next_shuffle_id();
+        let b = c.next_shuffle_id();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn parallelize_clamps_zero_partitions() {
+        let c = Cluster::new(ClusterConfig::local(2));
+        let r = c.parallelize(vec![1, 2, 3], 0);
+        assert_eq!(r.num_partitions(), 1);
+        assert_eq!(r.collect(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,165 @@
+//! Task execution: a simple scoped fork-join executor.
+//!
+//! Each stage turns into a batch of independent tasks (one per partition).
+//! Tasks are pulled from a shared queue by `threads` scoped worker threads,
+//! giving dynamic load balancing (tensor partitions can be skewed) without
+//! `'static` bounds on the closures — everything a task borrows lives on
+//! the driver's stack for the duration of the stage, so no deadlock-prone
+//! nested submission can occur.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fork-join executor with a fixed worker count.
+#[derive(Debug)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Executor {
+    /// Creates an executor that runs up to `threads` tasks concurrently.
+    pub fn new(threads: usize) -> Self {
+        Executor {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every task, returning results in task order. Blocks until all
+    /// tasks finish.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first worker panic (after all threads have stopped).
+    pub fn run<F, R>(&self, tasks: Vec<F>) -> Vec<R>
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let n = tasks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Single-thread or single-task fast path: run inline.
+        if self.threads == 1 || n == 1 {
+            return tasks.into_iter().map(|t| t()).collect();
+        }
+
+        let slots: Vec<Mutex<Option<F>>> =
+            tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(n) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let task = slots[i].lock().take().expect("task taken twice");
+                    let out = task();
+                    *results[i].lock() = Some(out);
+                });
+            }
+        });
+
+        results
+            .into_iter()
+            .map(|r| r.into_inner().expect("worker dropped a result"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_preserve_task_order() {
+        let ex = Executor::new(4);
+        let tasks: Vec<_> = (0..100).map(|i| move || i * i).collect();
+        let out = ex.run(tasks);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_batch() {
+        let ex = Executor::new(4);
+        let out: Vec<u32> = ex.run(Vec::<fn() -> u32>::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_thread_inline() {
+        let ex = Executor::new(1);
+        assert_eq!(ex.threads(), 1);
+        let out = ex.run(vec![|| 1, || 2]);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn zero_thread_request_clamped() {
+        assert_eq!(Executor::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let count = AtomicU64::new(0);
+        let ex = Executor::new(8);
+        let tasks: Vec<_> = (0..500)
+            .map(|_| {
+                let c = &count;
+                move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+            .collect();
+        ex.run(tasks);
+        assert_eq!(count.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn tasks_can_borrow_driver_state() {
+        let data = vec![1u64, 2, 3, 4];
+        let ex = Executor::new(2);
+        let tasks: Vec<_> = (0..4).map(|i| { let d = &data; move || d[i] * 10 }).collect();
+        let out = ex.run(tasks);
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn actually_parallel() {
+        // With 4 threads, 4 tasks that each wait for the others via a
+        // barrier can only complete if they run concurrently.
+        let barrier = std::sync::Barrier::new(4);
+        let ex = Executor::new(4);
+        let tasks: Vec<_> = (0..4)
+            .map(|_| {
+                let b = &barrier;
+                move || {
+                    b.wait();
+                    1u32
+                }
+            })
+            .collect();
+        let out = ex.run(tasks);
+        assert_eq!(out.iter().sum::<u32>(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        let ex = Executor::new(2);
+        let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("task failure")),
+        ];
+        ex.run(tasks);
+    }
+}

@@ -1,0 +1,78 @@
+//! A from-scratch Spark-like distributed dataflow engine.
+//!
+//! The CSTF paper implements sparse tensor factorization as a sequence of
+//! Spark RDD transformations (`map`, `join`, `reduceByKey`, `cache`) whose
+//! cost is dominated by *shuffles* — operations that move records between
+//! partitions over the network. There is no Spark in Rust, so this crate
+//! provides the minimal faithful substrate:
+//!
+//! * [`Rdd`] — a lazy, immutable, partitioned dataset with a typed lineage
+//!   graph. Narrow transformations (`map`, `filter`, …) chain computation;
+//!   wide transformations (`join`, `reduce_by_key`, `partition_by`) insert
+//!   shuffle boundaries exactly where Spark would.
+//! * [`Cluster`] — the driver: owns the executor pool, shuffle service,
+//!   block manager (cache) and metrics. Jobs are scheduled stage by stage,
+//!   topologically over the shuffle dependencies, like Spark's DAGScheduler.
+//! * **Simulated nodes** — partitions are placed on `n` virtual nodes
+//!   (`partition mod n`). Every shuffle record that crosses a node boundary
+//!   is counted as *remote bytes read*; records staying on the node count
+//!   as *local bytes read*. These are exactly the two metrics Spark's UI
+//!   reports and the paper plots in Figure 4.
+//! * [`sim::TimeModel`] — converts measured per-stage CPU work and byte
+//!   counts into simulated wall-clock seconds for a given node count and
+//!   platform profile (Spark-like in-memory vs Hadoop-like job-per-stage),
+//!   which drives the runtime-versus-nodes curves of Figures 2/3/5.
+//!
+//! # Example
+//!
+//! ```
+//! use cstf_dataflow::{Cluster, ClusterConfig};
+//!
+//! let cluster = Cluster::new(ClusterConfig::local(4).nodes(2));
+//! let rdd = cluster.parallelize((0..100u32).collect::<Vec<_>>(), 8);
+//! let sum: u32 = rdd
+//!     .map(|x| (x % 10, x))
+//!     .reduce_by_key(|a, b| a + b)
+//!     .collect()
+//!     .into_iter()
+//!     .map(|(_, v)| v)
+//!     .sum();
+//! assert_eq!(sum, (0..100).sum::<u32>());
+//! // The reduce_by_key above really shuffled:
+//! let m = cluster.metrics().snapshot();
+//! assert_eq!(m.shuffle_count(), 1);
+//! assert!(m.total_shuffle_bytes() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod broadcast;
+pub mod cache;
+pub mod config;
+pub mod context;
+pub mod executor;
+pub mod hash;
+pub mod metrics;
+pub mod partitioner;
+pub mod rdd;
+pub mod shuffle;
+pub mod sim;
+pub mod size;
+
+pub use broadcast::Broadcast;
+pub use cache::StorageLevel;
+pub use config::ClusterConfig;
+pub use context::{Cluster, TaskContext};
+pub use metrics::{JobMetrics, MetricsRegistry, StageKind, StageMetrics};
+pub use partitioner::HashPartitioner;
+pub use rdd::Rdd;
+pub use size::EstimateSize;
+
+/// Marker for element types an [`Rdd`] can hold: cheaply cloneable and
+/// shareable across executor threads. Blanket-implemented.
+pub trait Data: Send + Sync + Clone + 'static {}
+impl<T: Send + Sync + Clone + 'static> Data for T {}
+
+/// Marker for key types used in pair-RDD operations. Blanket-implemented.
+pub trait Key: Data + Eq + std::hash::Hash {}
+impl<T: Data + Eq + std::hash::Hash> Key for T {}

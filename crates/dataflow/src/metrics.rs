@@ -1,0 +1,562 @@
+//! Execution metrics: per-stage CPU, record and shuffle-byte accounting.
+//!
+//! The paper's evaluation leans on two Spark metrics — *remote bytes read*
+//! and *local bytes read* across shuffle phases (§6.5, Figure 4) — plus
+//! per-stage structure (how many shuffles a workflow performs, Table 4).
+//! This module records those quantities as jobs execute. All byte counts
+//! come from [`crate::size::EstimateSize`] and are deterministic; CPU times
+//! are measured and feed the [`crate::sim::TimeModel`].
+
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// What a stage produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum StageKind {
+    /// Map side of a shuffle: computed parent partitions and wrote buckets.
+    ShuffleMap,
+    /// Final stage of a job: computed the action's target partitions.
+    Result,
+}
+
+/// Aggregated measurements for one executed stage.
+#[derive(Debug, Clone, Serialize)]
+pub struct StageMetrics {
+    /// Monotonic stage id within the cluster.
+    pub stage_id: usize,
+    /// User-set scope label active when the stage ran (e.g. `"MTTKRP-1"`).
+    pub scope: String,
+    /// Human-readable stage name (operator that caused it).
+    pub name: String,
+    /// Stage kind.
+    pub kind: StageKind,
+    /// Number of tasks (= partitions) executed.
+    pub num_tasks: usize,
+    /// Records produced by the stage's tasks.
+    pub records_out: u64,
+    /// Records computed across the whole narrow pipeline of the stage's
+    /// tasks, *including* recomputation of uncached parents — the work
+    /// measure the modeled CPU cost uses. Always ≥ `records_out`.
+    pub records_computed: u64,
+    /// Records written into shuffle buckets (ShuffleMap stages).
+    pub shuffle_write_records: u64,
+    /// Bytes written into shuffle buckets (ShuffleMap stages).
+    pub shuffle_write_bytes: u64,
+    /// Shuffle bytes read from buckets on a *different* simulated node.
+    pub remote_bytes_read: u64,
+    /// Shuffle bytes read from buckets on the *same* simulated node.
+    pub local_bytes_read: u64,
+    /// Records read from shuffle buckets.
+    pub shuffle_read_records: u64,
+    /// Measured task CPU seconds summed per simulated node.
+    pub node_cpu_secs: Vec<f64>,
+    /// Longest single task, in seconds.
+    pub max_task_secs: f64,
+}
+
+impl StageMetrics {
+    fn new(stage_id: usize, scope: String, name: String, kind: StageKind, nodes: usize) -> Self {
+        StageMetrics {
+            stage_id,
+            scope,
+            name,
+            kind,
+            num_tasks: 0,
+            records_out: 0,
+            records_computed: 0,
+            shuffle_write_records: 0,
+            shuffle_write_bytes: 0,
+            remote_bytes_read: 0,
+            local_bytes_read: 0,
+            shuffle_read_records: 0,
+            node_cpu_secs: vec![0.0; nodes],
+            max_task_secs: 0.0,
+        }
+    }
+
+    /// Total shuffle bytes read (remote + local).
+    pub fn shuffle_read_bytes(&self) -> u64 {
+        self.remote_bytes_read + self.local_bytes_read
+    }
+
+    /// Total measured CPU seconds across all nodes.
+    pub fn total_cpu_secs(&self) -> f64 {
+        self.node_cpu_secs.iter().sum()
+    }
+}
+
+/// Concurrent sink tasks write into while a stage runs.
+#[derive(Debug)]
+pub struct StageCollector {
+    inner: Mutex<StageMetrics>,
+}
+
+impl StageCollector {
+    /// Records one finished task.
+    pub fn record_task(&self, node: usize, cpu_secs: f64, records_out: u64) {
+        let mut m = self.inner.lock();
+        m.num_tasks += 1;
+        m.records_out += records_out;
+        if node < m.node_cpu_secs.len() {
+            m.node_cpu_secs[node] += cpu_secs;
+        }
+        m.max_task_secs = m.max_task_secs.max(cpu_secs);
+    }
+
+    /// Records pipeline work: `n` records produced by one lineage node
+    /// while computing a partition (called per node, so recomputed
+    /// parents are counted every time they run).
+    pub fn add_records_computed(&self, n: u64) {
+        self.inner.lock().records_computed += n;
+    }
+
+    /// Records a map-side shuffle write.
+    pub fn add_shuffle_write(&self, records: u64, bytes: u64) {
+        let mut m = self.inner.lock();
+        m.shuffle_write_records += records;
+        m.shuffle_write_bytes += bytes;
+    }
+
+    /// Records a reduce-side shuffle read from one map output bucket.
+    pub fn add_shuffle_read(&self, remote_bytes: u64, local_bytes: u64, records: u64) {
+        let mut m = self.inner.lock();
+        m.remote_bytes_read += remote_bytes;
+        m.local_bytes_read += local_bytes;
+        m.shuffle_read_records += records;
+    }
+
+    fn finish(self) -> StageMetrics {
+        self.inner.into_inner()
+    }
+}
+
+/// One event in a job's execution log.
+#[derive(Debug, Clone, Serialize)]
+pub enum Event {
+    /// A stage executed.
+    Stage(StageMetrics),
+    /// The driver declared bytes read from distributed storage (models
+    /// HDFS input for the Hadoop platform profile).
+    DiskRead {
+        /// Scope label active when recorded.
+        scope: String,
+        /// Bytes read.
+        bytes: u64,
+    },
+    /// The driver declared bytes written to distributed storage (models
+    /// Hadoop materializing job output between MapReduce jobs).
+    DiskWrite {
+        /// Scope label active when recorded.
+        scope: String,
+        /// Bytes written.
+        bytes: u64,
+    },
+    /// A MapReduce-style job boundary (models Hadoop job launch overhead).
+    JobBoundary {
+        /// Scope label active when recorded.
+        scope: String,
+    },
+    /// A broadcast: `bytes` moved over the network to replicate a value
+    /// on every node.
+    Broadcast {
+        /// Scope label active when recorded.
+        scope: String,
+        /// Total remote bytes (replica size × receiving nodes).
+        bytes: u64,
+    },
+}
+
+/// An immutable snapshot of everything recorded since the last reset.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct JobMetrics {
+    /// Ordered execution log.
+    pub events: Vec<Event>,
+}
+
+impl JobMetrics {
+    /// All executed stages, in order.
+    pub fn stages(&self) -> impl Iterator<Item = &StageMetrics> + '_ {
+        self.events.iter().filter_map(|e| match e {
+            Event::Stage(s) => Some(s),
+            _ => None,
+        })
+    }
+
+    /// Number of shuffles performed (ShuffleMap stages — each shuffle
+    /// dependency materializes exactly one).
+    pub fn shuffle_count(&self) -> usize {
+        self.stages()
+            .filter(|s| s.kind == StageKind::ShuffleMap)
+            .count()
+    }
+
+    /// Shuffles that moved at least `min_records` records. The paper counts
+    /// only tensor-sized shuffles (a factor-matrix side of a join is
+    /// negligible next to `nnz` tensor records); pass `min_records ≈ nnz/2`
+    /// to reproduce the Table 4 "Shuffles" column.
+    pub fn significant_shuffle_count(&self, min_records: u64) -> usize {
+        self.stages()
+            .filter(|s| s.kind == StageKind::ShuffleMap && s.shuffle_write_records >= min_records)
+            .count()
+    }
+
+    /// Total remote shuffle bytes read.
+    pub fn total_remote_bytes(&self) -> u64 {
+        self.stages().map(|s| s.remote_bytes_read).sum()
+    }
+
+    /// Total local shuffle bytes read.
+    pub fn total_local_bytes(&self) -> u64 {
+        self.stages().map(|s| s.local_bytes_read).sum()
+    }
+
+    /// Total shuffle bytes read (remote + local).
+    pub fn total_shuffle_bytes(&self) -> u64 {
+        self.total_remote_bytes() + self.total_local_bytes()
+    }
+
+    /// Total bytes declared as distributed-storage reads.
+    pub fn total_disk_read(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e {
+                Event::DiskRead { bytes, .. } => *bytes,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total bytes declared as distributed-storage writes.
+    pub fn total_disk_write(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e {
+                Event::DiskWrite { bytes, .. } => *bytes,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total bytes moved by broadcasts.
+    pub fn total_broadcast_bytes(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e {
+                Event::Broadcast { bytes, .. } => *bytes,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Number of declared job boundaries.
+    pub fn job_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, Event::JobBoundary { .. }))
+            .count()
+    }
+
+    /// Aggregates `(remote, local)` shuffle bytes per scope label, in
+    /// first-seen scope order — the per-MTTKRP stacks of Figure 4.
+    pub fn shuffle_bytes_by_scope(&self) -> Vec<(String, u64, u64)> {
+        let mut order: Vec<String> = Vec::new();
+        let mut agg: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        for s in self.stages() {
+            if !agg.contains_key(&s.scope) {
+                order.push(s.scope.clone());
+            }
+            let e = agg.entry(s.scope.clone()).or_insert((0, 0));
+            e.0 += s.remote_bytes_read;
+            e.1 += s.local_bytes_read;
+        }
+        order
+            .into_iter()
+            .map(|k| {
+                let (r, l) = agg[&k];
+                (k, r, l)
+            })
+            .collect()
+    }
+
+    /// Renders a human-readable per-stage report (the engine's analogue
+    /// of the Spark UI's stage table), plus event and total summaries.
+    pub fn render_report(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>5}  {:<10} {:<10} {:<32} {:>6} {:>10} {:>12} {:>12} {:>12}",
+            "stage", "scope", "kind", "name", "tasks", "records", "shfl wr B", "remote rd B", "local rd B"
+        );
+        for e in &self.events {
+            match e {
+                Event::Stage(s) => {
+                    let _ = writeln!(
+                        out,
+                        "{:>5}  {:<10} {:<10} {:<32} {:>6} {:>10} {:>12} {:>12} {:>12}",
+                        s.stage_id,
+                        truncate(&s.scope, 10),
+                        format!("{:?}", s.kind),
+                        truncate(&s.name, 32),
+                        s.num_tasks,
+                        s.records_out,
+                        s.shuffle_write_bytes,
+                        s.remote_bytes_read,
+                        s.local_bytes_read,
+                    );
+                }
+                Event::DiskRead { scope, bytes } => {
+                    let _ = writeln!(out, "       {:<10} disk-read  {bytes} B", truncate(scope, 10));
+                }
+                Event::DiskWrite { scope, bytes } => {
+                    let _ = writeln!(out, "       {:<10} disk-write {bytes} B", truncate(scope, 10));
+                }
+                Event::JobBoundary { scope } => {
+                    let _ = writeln!(out, "       {:<10} job-launch", truncate(scope, 10));
+                }
+                Event::Broadcast { scope, bytes } => {
+                    let _ = writeln!(out, "       {:<10} broadcast  {bytes} B", truncate(scope, 10));
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "TOTAL  {} shuffles | {} remote B | {} local B | {} disk rd B | {} jobs | {} broadcast B",
+            self.shuffle_count(),
+            self.total_remote_bytes(),
+            self.total_local_bytes(),
+            self.total_disk_read(),
+            self.job_count(),
+            self.total_broadcast_bytes(),
+        );
+        out
+    }
+
+    /// Stages belonging to one scope.
+    pub fn stages_in_scope<'a>(
+        &'a self,
+        scope: &'a str,
+    ) -> impl Iterator<Item = &'a StageMetrics> + 'a {
+        self.stages().filter(move |s| s.scope == scope)
+    }
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    if s.len() <= n {
+        s
+    } else {
+        &s[..n]
+    }
+}
+
+/// Cluster-wide metrics log. Thread-safe; cheap to share.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    events: Mutex<Vec<Event>>,
+    scope: Mutex<String>,
+    next_stage: std::sync::atomic::AtomicUsize,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the scope label recorded on subsequent events (e.g.
+    /// `"MTTKRP-2"`). The paper's Figure 4 stacks bytes per such label.
+    pub fn set_scope(&self, scope: impl Into<String>) {
+        *self.scope.lock() = scope.into();
+    }
+
+    /// Clears the scope label (events record an empty scope).
+    pub fn clear_scope(&self) {
+        self.scope.lock().clear();
+    }
+
+    /// Current scope label.
+    pub fn scope(&self) -> String {
+        self.scope.lock().clone()
+    }
+
+    /// Starts collecting a new stage.
+    pub(crate) fn begin_stage(
+        &self,
+        name: impl Into<String>,
+        kind: StageKind,
+        nodes: usize,
+    ) -> StageCollector {
+        let id = self
+            .next_stage
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        StageCollector {
+            inner: Mutex::new(StageMetrics::new(id, self.scope(), name.into(), kind, nodes)),
+        }
+    }
+
+    /// Appends a finished stage to the log.
+    pub(crate) fn finish_stage(&self, collector: StageCollector) {
+        self.events.lock().push(Event::Stage(collector.finish()));
+    }
+
+    /// Declares a distributed-storage read (Hadoop platform modeling).
+    pub fn record_disk_read(&self, bytes: u64) {
+        let scope = self.scope();
+        self.events.lock().push(Event::DiskRead { scope, bytes });
+    }
+
+    /// Declares a distributed-storage write (Hadoop platform modeling).
+    pub fn record_disk_write(&self, bytes: u64) {
+        let scope = self.scope();
+        self.events.lock().push(Event::DiskWrite { scope, bytes });
+    }
+
+    /// Declares a MapReduce job boundary (Hadoop platform modeling).
+    pub fn record_job_boundary(&self) {
+        let scope = self.scope();
+        self.events.lock().push(Event::JobBoundary { scope });
+    }
+
+    /// Records a broadcast transfer (see [`crate::broadcast`]).
+    pub fn record_broadcast(&self, bytes: u64) {
+        let scope = self.scope();
+        self.events.lock().push(Event::Broadcast { scope, bytes });
+    }
+
+    /// Copies the current log.
+    pub fn snapshot(&self) -> JobMetrics {
+        JobMetrics {
+            events: self.events.lock().clone(),
+        }
+    }
+
+    /// Clears the log (scope is kept).
+    pub fn reset(&self) {
+        self.events.lock().clear();
+    }
+
+    /// Clears the log and returns what was recorded.
+    pub fn take(&self) -> JobMetrics {
+        JobMetrics {
+            events: std::mem::take(&mut *self.events.lock()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stage(reg: &MetricsRegistry, kind: StageKind, write_records: u64, remote: u64, local: u64) {
+        let c = reg.begin_stage("s", kind, 2);
+        c.record_task(0, 0.5, 10);
+        c.record_task(1, 0.25, 20);
+        c.add_shuffle_write(write_records, write_records * 8);
+        c.add_shuffle_read(remote, local, 5);
+        reg.finish_stage(c);
+    }
+
+    #[test]
+    fn stage_aggregation() {
+        let reg = MetricsRegistry::new();
+        stage(&reg, StageKind::ShuffleMap, 100, 0, 0);
+        let m = reg.snapshot();
+        let s = m.stages().next().unwrap();
+        assert_eq!(s.num_tasks, 2);
+        assert_eq!(s.records_out, 30);
+        assert_eq!(s.shuffle_write_records, 100);
+        assert_eq!(s.shuffle_write_bytes, 800);
+        assert!((s.total_cpu_secs() - 0.75).abs() < 1e-12);
+        assert!((s.max_task_secs - 0.5).abs() < 1e-12);
+        assert_eq!(s.node_cpu_secs.len(), 2);
+    }
+
+    #[test]
+    fn shuffle_counting() {
+        let reg = MetricsRegistry::new();
+        stage(&reg, StageKind::ShuffleMap, 1000, 10, 5);
+        stage(&reg, StageKind::ShuffleMap, 10, 1, 1);
+        stage(&reg, StageKind::Result, 0, 3, 4);
+        let m = reg.snapshot();
+        assert_eq!(m.shuffle_count(), 2);
+        assert_eq!(m.significant_shuffle_count(500), 1);
+        assert_eq!(m.total_remote_bytes(), 14);
+        assert_eq!(m.total_local_bytes(), 10);
+        assert_eq!(m.total_shuffle_bytes(), 24);
+    }
+
+    #[test]
+    fn scopes_label_events() {
+        let reg = MetricsRegistry::new();
+        reg.set_scope("MTTKRP-1");
+        stage(&reg, StageKind::ShuffleMap, 10, 100, 50);
+        reg.set_scope("MTTKRP-2");
+        stage(&reg, StageKind::ShuffleMap, 10, 200, 25);
+        stage(&reg, StageKind::Result, 0, 10, 10);
+        reg.clear_scope();
+        let m = reg.snapshot();
+        let by_scope = m.shuffle_bytes_by_scope();
+        assert_eq!(
+            by_scope,
+            vec![
+                ("MTTKRP-1".to_string(), 100, 50),
+                ("MTTKRP-2".to_string(), 210, 35),
+            ]
+        );
+        assert_eq!(m.stages_in_scope("MTTKRP-2").count(), 2);
+    }
+
+    #[test]
+    fn disk_and_job_events() {
+        let reg = MetricsRegistry::new();
+        reg.record_disk_read(1000);
+        reg.record_disk_write(500);
+        reg.record_job_boundary();
+        reg.record_job_boundary();
+        let m = reg.snapshot();
+        assert_eq!(m.total_disk_read(), 1000);
+        assert_eq!(m.total_disk_write(), 500);
+        assert_eq!(m.job_count(), 2);
+    }
+
+    #[test]
+    fn reset_and_take() {
+        let reg = MetricsRegistry::new();
+        stage(&reg, StageKind::Result, 0, 0, 0);
+        assert_eq!(reg.snapshot().events.len(), 1);
+        let taken = reg.take();
+        assert_eq!(taken.events.len(), 1);
+        assert!(reg.snapshot().events.is_empty());
+        stage(&reg, StageKind::Result, 0, 0, 0);
+        reg.reset();
+        assert!(reg.snapshot().events.is_empty());
+    }
+
+    #[test]
+    fn report_renders_every_event_kind() {
+        let reg = MetricsRegistry::new();
+        reg.set_scope("MTTKRP-1");
+        stage(&reg, StageKind::ShuffleMap, 10, 100, 50);
+        reg.record_disk_read(777);
+        reg.record_job_boundary();
+        reg.record_broadcast(42);
+        let report = reg.snapshot().render_report();
+        assert!(report.contains("MTTKRP-1"));
+        assert!(report.contains("ShuffleMap"));
+        assert!(report.contains("777"));
+        assert!(report.contains("job-launch"));
+        assert!(report.contains("broadcast  42 B"));
+        assert!(report.contains("TOTAL"));
+    }
+
+    #[test]
+    fn stage_ids_are_monotonic() {
+        let reg = MetricsRegistry::new();
+        stage(&reg, StageKind::Result, 0, 0, 0);
+        stage(&reg, StageKind::Result, 0, 0, 0);
+        let m = reg.snapshot();
+        let ids: Vec<usize> = m.stages().map(|s| s.stage_id).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+}

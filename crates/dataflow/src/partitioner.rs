@@ -1,0 +1,212 @@
+//! Key partitioning for shuffles.
+
+use crate::hash::fx_hash;
+use std::hash::Hash;
+
+/// Object-safe key-to-partition mapping used by shuffle dependencies.
+pub trait KeyPartitioner<K>: Send + Sync {
+    /// Target partition for `key`.
+    fn partition_of(&self, key: &K) -> usize;
+    /// Number of reduce partitions.
+    fn partition_count(&self) -> usize;
+}
+
+impl<K: Hash> KeyPartitioner<K> for HashPartitioner {
+    fn partition_of(&self, key: &K) -> usize {
+        self.partition(key)
+    }
+    fn partition_count(&self) -> usize {
+        self.num_partitions()
+    }
+}
+
+/// Range partitioner: keys are assigned to partitions by comparing against
+/// sorted boundaries, so partition `i` holds a contiguous key range —
+/// the partitioner behind [`crate::Rdd::sort_by_key`] (Spark
+/// `RangePartitioner`).
+#[derive(Debug, Clone)]
+pub struct RangePartitioner<K> {
+    /// Sorted upper boundaries; keys ≤ `boundaries[i]` (and above the
+    /// previous boundary) go to partition `i`; larger keys go to the last
+    /// partition.
+    boundaries: Vec<K>,
+}
+
+impl<K: Ord> RangePartitioner<K> {
+    /// Builds a partitioner with explicit sorted boundaries, producing
+    /// `boundaries.len() + 1` partitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the boundaries are not sorted.
+    pub fn new(boundaries: Vec<K>) -> Self {
+        assert!(
+            boundaries.windows(2).all(|w| w[0] <= w[1]),
+            "range boundaries must be sorted"
+        );
+        RangePartitioner { boundaries }
+    }
+
+    /// Derives boundaries from a sample of keys, targeting `partitions`
+    /// output partitions. The sample is sorted and split at even
+    /// quantiles.
+    pub fn from_sample(mut sample: Vec<K>, partitions: usize) -> Self
+    where
+        K: Clone,
+    {
+        assert!(partitions > 0);
+        sample.sort();
+        sample.dedup();
+        let mut boundaries = Vec::new();
+        if !sample.is_empty() {
+            for i in 1..partitions {
+                let idx = i * sample.len() / partitions;
+                if idx < sample.len() {
+                    boundaries.push(sample[idx].clone());
+                }
+            }
+            boundaries.dedup();
+        }
+        RangePartitioner { boundaries }
+    }
+}
+
+impl<K: Ord + Send + Sync> KeyPartitioner<K> for RangePartitioner<K> {
+    fn partition_of(&self, key: &K) -> usize {
+        self.boundaries.partition_point(|b| b < key)
+    }
+    fn partition_count(&self) -> usize {
+        self.boundaries.len() + 1
+    }
+}
+
+/// Hash partitioner: key `k` goes to partition `hash(k) mod partitions`.
+///
+/// Uses the deterministic [`crate::hash::FxHasher`], so partition placement
+/// (and therefore remote/local byte attribution) is reproducible across
+/// runs and machines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashPartitioner {
+    partitions: usize,
+}
+
+impl HashPartitioner {
+    /// Creates a partitioner over `partitions` reduce partitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions == 0`.
+    pub fn new(partitions: usize) -> Self {
+        assert!(partitions > 0, "partitioner needs at least one partition");
+        HashPartitioner { partitions }
+    }
+
+    /// Number of reduce partitions.
+    #[inline]
+    pub fn num_partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// Target partition for `key`.
+    #[inline]
+    pub fn partition<K: Hash>(&self, key: &K) -> usize {
+        (fx_hash(key) % self.partitions as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_range() {
+        let p = HashPartitioner::new(7);
+        for k in 0u32..1000 {
+            assert!(p.partition(&k) < 7);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let p1 = HashPartitioner::new(16);
+        let p2 = HashPartitioner::new(16);
+        for k in 0u64..100 {
+            assert_eq!(p1.partition(&k), p2.partition(&k));
+        }
+    }
+
+    #[test]
+    fn reasonably_balanced_for_dense_keys() {
+        let p = HashPartitioner::new(8);
+        let mut counts = [0usize; 8];
+        for k in 0u32..8000 {
+            counts[p.partition(&k)] += 1;
+        }
+        for &c in &counts {
+            assert!((500..=1500).contains(&c), "imbalanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn single_partition_maps_everything_to_zero() {
+        let p = HashPartitioner::new(1);
+        assert_eq!(p.partition(&123u32), 0);
+        assert_eq!(p.partition(&"abc"), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_partitions_rejected() {
+        HashPartitioner::new(0);
+    }
+
+    #[test]
+    fn range_partitioner_explicit_boundaries() {
+        let p = RangePartitioner::new(vec![10u32, 20]);
+        assert_eq!(p.partition_count(), 3);
+        assert_eq!(p.partition_of(&5), 0);
+        assert_eq!(p.partition_of(&10), 0); // ≤ boundary stays left
+        assert_eq!(p.partition_of(&11), 1);
+        assert_eq!(p.partition_of(&20), 1);
+        assert_eq!(p.partition_of(&99), 2);
+    }
+
+    #[test]
+    fn range_partitioner_is_order_preserving() {
+        let p = RangePartitioner::new(vec![3u32, 7, 12]);
+        let mut last = 0;
+        for k in 0u32..20 {
+            let part = p.partition_of(&k);
+            assert!(part >= last, "partition regressed at key {k}");
+            last = part;
+        }
+    }
+
+    #[test]
+    fn range_from_sample_quantiles() {
+        let sample: Vec<u32> = (0..100).collect();
+        let p = RangePartitioner::from_sample(sample, 4);
+        assert_eq!(p.partition_count(), 4);
+        // Roughly balanced assignment of the sampled domain.
+        let mut counts = vec![0usize; 4];
+        for k in 0u32..100 {
+            counts[p.partition_of(&k)] += 1;
+        }
+        for &c in &counts {
+            assert!((15..=35).contains(&c), "unbalanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn range_from_empty_sample_single_partition() {
+        let p = RangePartitioner::from_sample(Vec::<u32>::new(), 5);
+        assert_eq!(p.partition_count(), 1);
+        assert_eq!(p.partition_of(&123), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn range_rejects_unsorted_boundaries() {
+        RangePartitioner::new(vec![5u32, 2]);
+    }
+}

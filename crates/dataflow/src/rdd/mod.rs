@@ -1,0 +1,444 @@
+//! RDDs: lazy, partitioned, immutable datasets with typed lineage.
+//!
+//! An [`Rdd<T>`] is a handle to a node in a lineage DAG. Narrow
+//! transformations (`map`, `filter`, …) create nodes that compute their
+//! partition from the same-numbered parent partition; wide transformations
+//! (in [`pair`]) introduce [`ShuffleDependency`] boundaries that the
+//! scheduler materializes as separate stages. Nothing executes until an
+//! action (`collect`, `count`, `reduce`, …) runs.
+
+pub mod nodes;
+pub mod pair;
+
+use crate::cache::StorageLevel;
+use crate::context::{Cluster, TaskContext};
+use crate::size::EstimateSize;
+use crate::Data;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Renders one lineage node and its ancestry into `out`.
+fn render_lineage(node: &Arc<dyn NodeInfo>, depth: usize, out: &mut String) {
+    use std::fmt::Write;
+    let _ = writeln!(
+        out,
+        "{}{} [{} partitions, id {}]",
+        "  ".repeat(depth),
+        node.name(),
+        node.num_partitions(),
+        node.id()
+    );
+    for dep in node.deps() {
+        match dep {
+            Dependency::Narrow(parent) => render_lineage(&parent, depth + 1, out),
+            Dependency::Shuffle(shuffle) => {
+                let _ = writeln!(
+                    out,
+                    "{}+- shuffle #{}",
+                    "  ".repeat(depth + 1),
+                    shuffle.shuffle_id()
+                );
+                render_lineage(&shuffle.parent_info(), depth + 2, out);
+            }
+        }
+    }
+}
+
+/// Allocates process-unique RDD node ids (used as cache keys and for
+/// lineage-walk memoization).
+pub(crate) fn next_node_id() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Type-erased view of a lineage node, used by the scheduler.
+pub trait NodeInfo: Send + Sync {
+    /// Process-unique node id.
+    fn id(&self) -> usize;
+    /// Operator name for debugging and stage naming.
+    fn name(&self) -> &str;
+    /// Number of partitions.
+    fn num_partitions(&self) -> usize;
+    /// Dependencies on parent nodes.
+    fn deps(&self) -> Vec<Dependency>;
+}
+
+/// An edge in the lineage DAG.
+#[derive(Clone)]
+pub enum Dependency {
+    /// Parent partition feeds the same-numbered child partition; computed
+    /// in the same stage.
+    Narrow(Arc<dyn NodeInfo>),
+    /// A shuffle boundary; the parent side runs as its own stage.
+    Shuffle(Arc<dyn ShuffleDependency>),
+}
+
+/// Type-erased handle to a shuffle boundary, letting the driver schedule
+/// map stages without knowing record types.
+pub trait ShuffleDependency: Send + Sync {
+    /// Cluster-unique shuffle id.
+    fn shuffle_id(&self) -> usize;
+    /// Whether every map output is already stored.
+    fn materialized(&self, cluster: &Cluster) -> bool;
+    /// Runs the map stage (idempotent).
+    fn materialize(&self, cluster: &Cluster);
+    /// Lineage node feeding the shuffle.
+    fn parent_info(&self) -> Arc<dyn NodeInfo>;
+}
+
+/// A typed lineage node: computes one partition's records.
+pub trait RddNode<T: Data>: NodeInfo {
+    /// Computes partition `partition` (called from executor tasks).
+    fn compute(&self, partition: usize, ctx: &TaskContext<'_>) -> Vec<T>;
+}
+
+/// A lazy, partitioned dataset — the engine's equivalent of a Spark RDD.
+///
+/// Cloning is cheap (shares the underlying node). All transformations are
+/// lazy; actions trigger stage-by-stage execution on the owning
+/// [`Cluster`].
+pub struct Rdd<T: Data> {
+    pub(crate) node: Arc<dyn RddNode<T>>,
+    pub(crate) cluster: Cluster,
+}
+
+impl<T: Data> Clone for Rdd<T> {
+    fn clone(&self) -> Self {
+        Rdd {
+            node: self.node.clone(),
+            cluster: self.cluster.clone(),
+        }
+    }
+}
+
+impl<T: Data> Rdd<T> {
+    pub(crate) fn from_node(cluster: Cluster, node: Arc<dyn RddNode<T>>) -> Self {
+        Rdd { node, cluster }
+    }
+
+    pub(crate) fn parallelize(cluster: Cluster, data: Vec<T>, partitions: usize) -> Self {
+        let node = Arc::new(nodes::ParallelizeNode::new(data, partitions));
+        Rdd::from_node(cluster, node)
+    }
+
+    /// Node id (unique per lineage node).
+    pub fn id(&self) -> usize {
+        self.node.id()
+    }
+
+    /// Operator name of the underlying node.
+    pub fn name(&self) -> String {
+        self.node.name().to_string()
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.node.num_partitions()
+    }
+
+    /// The cluster this RDD belongs to.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Renders the lineage DAG as an indented tree (Spark's
+    /// `toDebugString`): one line per node, `+-` marking shuffle
+    /// boundaries.
+    ///
+    /// ```
+    /// use cstf_dataflow::{Cluster, ClusterConfig};
+    ///
+    /// let c = Cluster::new(ClusterConfig::local(2));
+    /// let rdd = c
+    ///     .parallelize((0u32..10).map(|i| (i % 3, i)).collect::<Vec<_>>(), 4)
+    ///     .reduce_by_key(|a, b| a + b)
+    ///     .map(|(k, _)| k);
+    /// let tree = rdd.to_debug_string();
+    /// assert!(tree.contains("map"));
+    /// assert!(tree.contains("+- shuffle"));
+    /// assert!(tree.contains("parallelize"));
+    /// ```
+    pub fn to_debug_string(&self) -> String {
+        let mut out = String::new();
+        let info: Arc<dyn NodeInfo> = self.node.clone();
+        render_lineage(&info, 0, &mut out);
+        out
+    }
+
+    // ---- narrow transformations -------------------------------------
+
+    /// Applies `f` to every record.
+    pub fn map<U: Data>(&self, f: impl Fn(T) -> U + Send + Sync + 'static) -> Rdd<U> {
+        Rdd::from_node(
+            self.cluster.clone(),
+            Arc::new(nodes::MapNode::new(self.node.clone(), f)),
+        )
+    }
+
+    /// Keeps records satisfying `f`.
+    pub fn filter(&self, f: impl Fn(&T) -> bool + Send + Sync + 'static) -> Rdd<T> {
+        Rdd::from_node(
+            self.cluster.clone(),
+            Arc::new(nodes::FilterNode::new(self.node.clone(), f)),
+        )
+    }
+
+    /// Applies `f` and flattens the results.
+    pub fn flat_map<U: Data>(
+        &self,
+        f: impl Fn(T) -> Vec<U> + Send + Sync + 'static,
+    ) -> Rdd<U> {
+        Rdd::from_node(
+            self.cluster.clone(),
+            Arc::new(nodes::FlatMapNode::new(self.node.clone(), f)),
+        )
+    }
+
+    /// Transforms a whole partition at once; `f` receives the partition
+    /// index and its records.
+    pub fn map_partitions<U: Data>(
+        &self,
+        f: impl Fn(usize, Vec<T>) -> Vec<U> + Send + Sync + 'static,
+    ) -> Rdd<U> {
+        Rdd::from_node(
+            self.cluster.clone(),
+            Arc::new(nodes::MapPartitionsNode::new(self.node.clone(), f)),
+        )
+    }
+
+    /// Keys every record with `f(record)` (Spark `keyBy`).
+    pub fn key_by<K: Data>(&self, f: impl Fn(&T) -> K + Send + Sync + 'static) -> Rdd<(K, T)> {
+        self.map(move |t| (f(&t), t))
+    }
+
+    /// Reduces the partition count without shuffling: output partition
+    /// `i` concatenates parent partitions `i, i+n, i+2n, …` (Spark
+    /// `coalesce`). Requesting more partitions than the parent has is a
+    /// no-op.
+    pub fn coalesce(&self, partitions: usize) -> Rdd<T> {
+        Rdd::from_node(
+            self.cluster.clone(),
+            Arc::new(nodes::CoalescedNode::new(self.node.clone(), partitions)),
+        )
+    }
+
+    /// Deterministic Bernoulli sample: keeps each record with probability
+    /// `fraction`, using a per-partition RNG derived from `seed` so the
+    /// result is reproducible and independent of execution order.
+    pub fn sample(&self, fraction: f64, seed: u64) -> Rdd<T> {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        self.map_partitions(move |partition, data| {
+            // SplitMix64 stream seeded per partition: cheap, reproducible.
+            let mut state = seed
+                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(partition as u64 + 1));
+            let mut next = move || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                (z ^ (z >> 31)) as f64 / u64::MAX as f64
+            };
+            data.into_iter().filter(|_| next() < fraction).collect()
+        })
+    }
+
+    /// Pairs every record with its global index in partition order (Spark
+    /// `zipWithIndex`). Like Spark, this triggers one job to learn the
+    /// partition sizes.
+    pub fn zip_with_index(&self) -> Rdd<(T, u64)> {
+        let sizes: Vec<(usize, usize)> = self
+            .map_partitions(|idx, data| vec![(idx, data.len())])
+            .collect();
+        let mut offsets = vec![0u64; self.num_partitions()];
+        let mut acc = 0u64;
+        let mut ordered = sizes;
+        ordered.sort_unstable();
+        for (idx, len) in ordered {
+            offsets[idx] = acc;
+            acc += len as u64;
+        }
+        self.map_partitions(move |idx, data| {
+            let base = offsets[idx];
+            data.into_iter()
+                .enumerate()
+                .map(|(i, t)| (t, base + i as u64))
+                .collect()
+        })
+    }
+
+    /// Concatenates this RDD's partitions with `other`'s.
+    pub fn union(&self, other: &Rdd<T>) -> Rdd<T> {
+        Rdd::from_node(
+            self.cluster.clone(),
+            Arc::new(nodes::UnionNode::new(vec![
+                self.node.clone(),
+                other.node.clone(),
+            ])),
+        )
+    }
+
+    // ---- caching ------------------------------------------------------
+
+    /// Marks the dataset for in-memory caching in raw object form (the
+    /// level the paper selects, §4.1). The first action computes and
+    /// stores every partition; later actions read from the block manager,
+    /// and lineage above the cache is pruned.
+    ///
+    /// ```
+    /// use cstf_dataflow::{Cluster, ClusterConfig};
+    ///
+    /// let c = Cluster::new(ClusterConfig::local(2));
+    /// let rdd = c.parallelize((0u32..8).collect::<Vec<_>>(), 4).cache();
+    /// assert_eq!(rdd.count(), 8);        // computes and fills the cache
+    /// assert!(rdd.is_fully_cached());
+    /// assert_eq!(rdd.unpersist(), 4);    // evicts 4 partitions
+    /// ```
+    pub fn cache(&self) -> Rdd<T> {
+        Rdd::from_node(
+            self.cluster.clone(),
+            Arc::new(nodes::CachedNode::new(
+                self.node.clone(),
+                self.cluster.clone(),
+                StorageLevel::MemoryRaw,
+            )),
+        )
+    }
+
+    /// Evaluates the dataset eagerly and caches it, returning the cached
+    /// handle. Equivalent to `.cache()` followed by a counting action.
+    pub fn persist_now(&self) -> Rdd<T> {
+        let cached = self.cache();
+        let _ = cached.count();
+        cached
+    }
+
+    /// Materializes the dataset and truncates its lineage (Spark
+    /// `checkpoint`): the returned RDD holds the computed partitions
+    /// directly and has no dependencies, so no amount of shuffle cleanup
+    /// or cache loss upstream can force recomputation through the old
+    /// graph. Iterative algorithms (like QCOO's rotating state) call this
+    /// periodically to bound lineage depth.
+    pub fn checkpoint(&self) -> Rdd<T> {
+        let parts: Vec<Vec<T>> = self.cluster.clone().run_job(
+            &self.node,
+            &format!("checkpoint({})", self.node.name()),
+            |_, d| d,
+        );
+        Rdd::from_node(
+            self.cluster.clone(),
+            Arc::new(nodes::CheckpointNode::new(parts)),
+        )
+    }
+
+    /// Drops this RDD's cached partitions (Spark `unpersist`). Only
+    /// meaningful on a handle returned by [`Rdd::cache`]. Returns the
+    /// number of evicted blocks.
+    pub fn unpersist(&self) -> usize {
+        self.cluster.block_manager().remove_rdd(self.node.id())
+    }
+
+    /// Whether all partitions are currently cached.
+    pub fn is_fully_cached(&self) -> bool {
+        self.cluster
+            .block_manager()
+            .has_all(self.node.id(), self.num_partitions())
+    }
+
+    // ---- actions --------------------------------------------------------
+
+    /// Computes and returns all records, in partition order.
+    pub fn collect(&self) -> Vec<T> {
+        let parts = self
+            .cluster
+            .clone()
+            .run_job(&self.node, &format!("collect({})", self.node.name()), |_, d| d);
+        parts.into_iter().flatten().collect()
+    }
+
+    /// Number of records.
+    pub fn count(&self) -> u64 {
+        self.cluster
+            .clone()
+            .run_job(&self.node, &format!("count({})", self.node.name()), |_, d| {
+                d.len() as u64
+            })
+            .into_iter()
+            .sum()
+    }
+
+    /// Reduces all records with an associative, commutative `f`. Returns
+    /// `None` on an empty dataset.
+    pub fn reduce(&self, f: impl Fn(T, T) -> T + Send + Sync) -> Option<T> {
+        let partials: Vec<Option<T>> = self.cluster.clone().run_job(
+            &self.node,
+            &format!("reduce({})", self.node.name()),
+            |_, d| d.into_iter().reduce(&f),
+        );
+        partials.into_iter().flatten().reduce(&f)
+    }
+
+    /// Folds every record into `zero` with `f` per partition, combining
+    /// partition results with `combine`.
+    pub fn fold<U: Data>(
+        &self,
+        zero: U,
+        f: impl Fn(U, T) -> U + Send + Sync,
+        combine: impl Fn(U, U) -> U,
+    ) -> U {
+        let z = zero.clone();
+        let partials: Vec<U> = self.cluster.clone().run_job(
+            &self.node,
+            &format!("fold({})", self.node.name()),
+            move |_, d| d.into_iter().fold(z.clone(), &f),
+        );
+        partials.into_iter().fold(zero, combine)
+    }
+
+    /// First `n` records in partition order.
+    pub fn take(&self, n: usize) -> Vec<T> {
+        let mut out = self.collect();
+        out.truncate(n);
+        out
+    }
+
+    /// The first record, if any.
+    pub fn first(&self) -> Option<T> {
+        self.take(1).into_iter().next()
+    }
+}
+
+impl<T: Data + EstimateSize + Eq + std::hash::Hash> Rdd<T> {
+    /// Removes duplicate records via one shuffle (Spark `distinct`).
+    /// Output order is deterministic but unspecified.
+    pub fn distinct(&self) -> Rdd<T> {
+        let partitions = self.cluster.config().default_parallelism;
+        self.map(|t| (t, ()))
+            .reduce_by_key_with(partitions, true, |a, _| a)
+            .map(|(t, ())| t)
+    }
+}
+
+impl<T: Data + EstimateSize> Rdd<T> {
+    /// Caches in "serialized" form: like [`Rdd::cache`] but the block
+    /// manager tracks the estimated serialized footprint (Spark
+    /// `MEMORY_ONLY_SER`).
+    pub fn cache_serialized(&self) -> Rdd<T> {
+        Rdd::from_node(
+            self.cluster.clone(),
+            Arc::new(nodes::SerializedCachedNode::new(
+                self.node.clone(),
+                self.cluster.clone(),
+            )),
+        )
+    }
+}
+
+impl<T: Data> std::fmt::Debug for Rdd<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rdd")
+            .field("id", &self.id())
+            .field("name", &self.name())
+            .field("partitions", &self.num_partitions())
+            .finish()
+    }
+}

@@ -1,0 +1,504 @@
+//! Narrow-transformation lineage nodes.
+
+use super::{next_node_id, Dependency, NodeInfo, RddNode};
+use crate::cache::StorageLevel;
+use crate::context::{Cluster, TaskContext};
+use crate::size::EstimateSize;
+use crate::Data;
+use std::sync::Arc;
+
+/// Source node: data distributed by the driver (Spark `parallelize`).
+pub struct ParallelizeNode<T: Data> {
+    id: usize,
+    partitions: Vec<Arc<Vec<T>>>,
+}
+
+impl<T: Data> ParallelizeNode<T> {
+    /// Splits `data` into `partitions` contiguous, nearly-equal chunks.
+    pub fn new(data: Vec<T>, partitions: usize) -> Self {
+        assert!(partitions > 0);
+        let n = data.len();
+        let base = n / partitions;
+        let rem = n % partitions;
+        let mut chunks = Vec::with_capacity(partitions);
+        let mut it = data.into_iter();
+        for p in 0..partitions {
+            let len = base + usize::from(p < rem);
+            chunks.push(Arc::new(it.by_ref().take(len).collect::<Vec<T>>()));
+        }
+        ParallelizeNode {
+            id: next_node_id(),
+            partitions: chunks,
+        }
+    }
+}
+
+impl<T: Data> NodeInfo for ParallelizeNode<T> {
+    fn id(&self) -> usize {
+        self.id
+    }
+    fn name(&self) -> &str {
+        "parallelize"
+    }
+    fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+    fn deps(&self) -> Vec<Dependency> {
+        Vec::new()
+    }
+}
+
+impl<T: Data> RddNode<T> for ParallelizeNode<T> {
+    fn compute(&self, partition: usize, ctx: &TaskContext<'_>) -> Vec<T> {
+        let out = self.partitions[partition].as_ref().clone();
+        ctx.stage.add_records_computed(out.len() as u64);
+        out
+    }
+}
+
+/// Element-wise `map`.
+pub struct MapNode<T: Data, U: Data> {
+    id: usize,
+    parent: Arc<dyn RddNode<T>>,
+    f: Arc<dyn Fn(T) -> U + Send + Sync>,
+}
+
+impl<T: Data, U: Data> MapNode<T, U> {
+    pub(crate) fn new(
+        parent: Arc<dyn RddNode<T>>,
+        f: impl Fn(T) -> U + Send + Sync + 'static,
+    ) -> Self {
+        MapNode {
+            id: next_node_id(),
+            parent,
+            f: Arc::new(f),
+        }
+    }
+}
+
+impl<T: Data, U: Data> NodeInfo for MapNode<T, U> {
+    fn id(&self) -> usize {
+        self.id
+    }
+    fn name(&self) -> &str {
+        "map"
+    }
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+    fn deps(&self) -> Vec<Dependency> {
+        vec![Dependency::Narrow(self.parent.clone())]
+    }
+}
+
+impl<T: Data, U: Data> RddNode<U> for MapNode<T, U> {
+    fn compute(&self, partition: usize, ctx: &TaskContext<'_>) -> Vec<U> {
+        let out: Vec<U> = self
+            .parent
+            .compute(partition, ctx)
+            .into_iter()
+            .map(|t| (self.f)(t))
+            .collect();
+        ctx.stage.add_records_computed(out.len() as u64);
+        out
+    }
+}
+
+/// Element-wise `filter`.
+pub struct FilterNode<T: Data> {
+    id: usize,
+    parent: Arc<dyn RddNode<T>>,
+    f: Arc<dyn Fn(&T) -> bool + Send + Sync>,
+}
+
+impl<T: Data> FilterNode<T> {
+    pub(crate) fn new(
+        parent: Arc<dyn RddNode<T>>,
+        f: impl Fn(&T) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        FilterNode {
+            id: next_node_id(),
+            parent,
+            f: Arc::new(f),
+        }
+    }
+}
+
+impl<T: Data> NodeInfo for FilterNode<T> {
+    fn id(&self) -> usize {
+        self.id
+    }
+    fn name(&self) -> &str {
+        "filter"
+    }
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+    fn deps(&self) -> Vec<Dependency> {
+        vec![Dependency::Narrow(self.parent.clone())]
+    }
+}
+
+impl<T: Data> RddNode<T> for FilterNode<T> {
+    fn compute(&self, partition: usize, ctx: &TaskContext<'_>) -> Vec<T> {
+        let out: Vec<T> = self
+            .parent
+            .compute(partition, ctx)
+            .into_iter()
+            .filter(|t| (self.f)(t))
+            .collect();
+        ctx.stage.add_records_computed(out.len() as u64);
+        out
+    }
+}
+
+/// Element-wise `flat_map`.
+pub struct FlatMapNode<T: Data, U: Data> {
+    id: usize,
+    parent: Arc<dyn RddNode<T>>,
+    f: Arc<dyn Fn(T) -> Vec<U> + Send + Sync>,
+}
+
+impl<T: Data, U: Data> FlatMapNode<T, U> {
+    pub(crate) fn new(
+        parent: Arc<dyn RddNode<T>>,
+        f: impl Fn(T) -> Vec<U> + Send + Sync + 'static,
+    ) -> Self {
+        FlatMapNode {
+            id: next_node_id(),
+            parent,
+            f: Arc::new(f),
+        }
+    }
+}
+
+impl<T: Data, U: Data> NodeInfo for FlatMapNode<T, U> {
+    fn id(&self) -> usize {
+        self.id
+    }
+    fn name(&self) -> &str {
+        "flat_map"
+    }
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+    fn deps(&self) -> Vec<Dependency> {
+        vec![Dependency::Narrow(self.parent.clone())]
+    }
+}
+
+impl<T: Data, U: Data> RddNode<U> for FlatMapNode<T, U> {
+    fn compute(&self, partition: usize, ctx: &TaskContext<'_>) -> Vec<U> {
+        let out: Vec<U> = self
+            .parent
+            .compute(partition, ctx)
+            .into_iter()
+            .flat_map(|t| (self.f)(t))
+            .collect();
+        ctx.stage.add_records_computed(out.len() as u64);
+        out
+    }
+}
+
+/// Whole-partition transformation.
+pub struct MapPartitionsNode<T: Data, U: Data> {
+    id: usize,
+    parent: Arc<dyn RddNode<T>>,
+    f: Arc<dyn Fn(usize, Vec<T>) -> Vec<U> + Send + Sync>,
+}
+
+impl<T: Data, U: Data> MapPartitionsNode<T, U> {
+    pub(crate) fn new(
+        parent: Arc<dyn RddNode<T>>,
+        f: impl Fn(usize, Vec<T>) -> Vec<U> + Send + Sync + 'static,
+    ) -> Self {
+        MapPartitionsNode {
+            id: next_node_id(),
+            parent,
+            f: Arc::new(f),
+        }
+    }
+}
+
+impl<T: Data, U: Data> NodeInfo for MapPartitionsNode<T, U> {
+    fn id(&self) -> usize {
+        self.id
+    }
+    fn name(&self) -> &str {
+        "map_partitions"
+    }
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+    fn deps(&self) -> Vec<Dependency> {
+        vec![Dependency::Narrow(self.parent.clone())]
+    }
+}
+
+impl<T: Data, U: Data> RddNode<U> for MapPartitionsNode<T, U> {
+    fn compute(&self, partition: usize, ctx: &TaskContext<'_>) -> Vec<U> {
+        let out = (self.f)(partition, self.parent.compute(partition, ctx));
+        ctx.stage.add_records_computed(out.len() as u64);
+        out
+    }
+}
+
+/// Union of several RDDs: partitions are concatenated.
+pub struct UnionNode<T: Data> {
+    id: usize,
+    parents: Vec<Arc<dyn RddNode<T>>>,
+}
+
+impl<T: Data> UnionNode<T> {
+    pub(crate) fn new(parents: Vec<Arc<dyn RddNode<T>>>) -> Self {
+        assert!(!parents.is_empty());
+        UnionNode {
+            id: next_node_id(),
+            parents,
+        }
+    }
+
+    fn locate(&self, partition: usize) -> (usize, usize) {
+        let mut p = partition;
+        for (i, parent) in self.parents.iter().enumerate() {
+            let n = parent.num_partitions();
+            if p < n {
+                return (i, p);
+            }
+            p -= n;
+        }
+        panic!("union partition {partition} out of range");
+    }
+}
+
+impl<T: Data> NodeInfo for UnionNode<T> {
+    fn id(&self) -> usize {
+        self.id
+    }
+    fn name(&self) -> &str {
+        "union"
+    }
+    fn num_partitions(&self) -> usize {
+        self.parents.iter().map(|p| p.num_partitions()).sum()
+    }
+    fn deps(&self) -> Vec<Dependency> {
+        self.parents
+            .iter()
+            .map(|p| Dependency::Narrow(p.clone() as Arc<dyn NodeInfo>))
+            .collect()
+    }
+}
+
+impl<T: Data> RddNode<T> for UnionNode<T> {
+    fn compute(&self, partition: usize, ctx: &TaskContext<'_>) -> Vec<T> {
+        let (parent, local) = self.locate(partition);
+        self.parents[parent].compute(local, ctx)
+    }
+}
+
+/// Materialized snapshot of an RDD: holds the computed partitions
+/// directly and reports **no dependencies**, truncating lineage (Spark
+/// `checkpoint`). Iterative algorithms use this to bound the lineage
+/// depth that recovery or recomputation would otherwise walk.
+pub struct CheckpointNode<T: Data> {
+    id: usize,
+    partitions: Vec<Arc<Vec<T>>>,
+}
+
+impl<T: Data> CheckpointNode<T> {
+    pub(crate) fn new(partitions: Vec<Vec<T>>) -> Self {
+        CheckpointNode {
+            id: next_node_id(),
+            partitions: partitions.into_iter().map(Arc::new).collect(),
+        }
+    }
+}
+
+impl<T: Data> NodeInfo for CheckpointNode<T> {
+    fn id(&self) -> usize {
+        self.id
+    }
+    fn name(&self) -> &str {
+        "checkpoint"
+    }
+    fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+    fn deps(&self) -> Vec<Dependency> {
+        Vec::new() // lineage truncated by construction
+    }
+}
+
+impl<T: Data> RddNode<T> for CheckpointNode<T> {
+    fn compute(&self, partition: usize, ctx: &TaskContext<'_>) -> Vec<T> {
+        let out = self.partitions[partition].as_ref().clone();
+        ctx.stage.add_records_computed(out.len() as u64);
+        out
+    }
+}
+
+/// Coalesces parent partitions into fewer partitions without a shuffle:
+/// output partition `i` concatenates every parent partition `p` with
+/// `p % n == i` (Spark `coalesce(n, shuffle = false)`).
+pub struct CoalescedNode<T: Data> {
+    id: usize,
+    parent: Arc<dyn RddNode<T>>,
+    partitions: usize,
+}
+
+impl<T: Data> CoalescedNode<T> {
+    pub(crate) fn new(parent: Arc<dyn RddNode<T>>, partitions: usize) -> Self {
+        assert!(partitions > 0);
+        CoalescedNode {
+            id: next_node_id(),
+            parent,
+            partitions,
+        }
+    }
+}
+
+impl<T: Data> NodeInfo for CoalescedNode<T> {
+    fn id(&self) -> usize {
+        self.id
+    }
+    fn name(&self) -> &str {
+        "coalesce"
+    }
+    fn num_partitions(&self) -> usize {
+        self.partitions.min(self.parent.num_partitions().max(1))
+    }
+    fn deps(&self) -> Vec<Dependency> {
+        vec![Dependency::Narrow(self.parent.clone())]
+    }
+}
+
+impl<T: Data> RddNode<T> for CoalescedNode<T> {
+    fn compute(&self, partition: usize, ctx: &TaskContext<'_>) -> Vec<T> {
+        let n = self.num_partitions();
+        let mut out = Vec::new();
+        let mut p = partition;
+        while p < self.parent.num_partitions() {
+            out.extend(self.parent.compute(p, ctx));
+            p += n;
+        }
+        ctx.stage.add_records_computed(out.len() as u64);
+        out
+    }
+}
+
+/// Caching wrapper: first computation of a partition stores it in the
+/// block manager; later computations read the cached copy. Lineage above a
+/// fully-cached node is pruned from scheduling.
+pub struct CachedNode<T: Data> {
+    id: usize,
+    parent: Arc<dyn RddNode<T>>,
+    cluster: Cluster,
+    level: StorageLevel,
+}
+
+impl<T: Data> CachedNode<T> {
+    pub(crate) fn new(parent: Arc<dyn RddNode<T>>, cluster: Cluster, level: StorageLevel) -> Self {
+        CachedNode {
+            id: next_node_id(),
+            parent,
+            cluster,
+            level,
+        }
+    }
+
+    fn estimate_bytes(&self, _data: &[T]) -> u64 {
+        0 // raw level: footprint untracked, matching Spark's raw objects
+    }
+}
+
+impl<T: Data> NodeInfo for CachedNode<T> {
+    fn id(&self) -> usize {
+        self.id
+    }
+    fn name(&self) -> &str {
+        "cached"
+    }
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+    fn deps(&self) -> Vec<Dependency> {
+        // Once every partition is resident, upstream lineage is pruned:
+        // re-running a job over a cached RDD re-materializes nothing.
+        if self
+            .cluster
+            .block_manager()
+            .has_all(self.id, self.num_partitions())
+        {
+            Vec::new()
+        } else {
+            vec![Dependency::Narrow(self.parent.clone())]
+        }
+    }
+}
+
+impl<T: Data> RddNode<T> for CachedNode<T> {
+    fn compute(&self, partition: usize, ctx: &TaskContext<'_>) -> Vec<T> {
+        if let Some(hit) = self.cluster.block_manager().get::<T>(self.id, partition) {
+            ctx.stage.add_records_computed(hit.len() as u64);
+            return hit;
+        }
+        let data = self.parent.compute(partition, ctx);
+        let bytes = match self.level {
+            StorageLevel::MemoryRaw => self.estimate_bytes(&data),
+            StorageLevel::MemorySerialized => 0, // overridden in EstimateSize impl path
+        };
+        self.cluster
+            .block_manager()
+            .put(self.id, partition, data.clone(), bytes, self.level);
+        data
+    }
+}
+
+/// Caching wrapper that also tracks the estimated serialized footprint.
+/// Used by [`crate::Rdd::cache_serialized`].
+pub struct SerializedCachedNode<T: Data + EstimateSize> {
+    inner: CachedNode<T>,
+}
+
+impl<T: Data + EstimateSize> SerializedCachedNode<T> {
+    #[allow(dead_code)]
+    pub(crate) fn new(parent: Arc<dyn RddNode<T>>, cluster: Cluster) -> Self {
+        SerializedCachedNode {
+            inner: CachedNode::new(parent, cluster, StorageLevel::MemorySerialized),
+        }
+    }
+}
+
+impl<T: Data + EstimateSize> NodeInfo for SerializedCachedNode<T> {
+    fn id(&self) -> usize {
+        self.inner.id
+    }
+    fn name(&self) -> &str {
+        "cached_ser"
+    }
+    fn num_partitions(&self) -> usize {
+        self.inner.num_partitions()
+    }
+    fn deps(&self) -> Vec<Dependency> {
+        self.inner.deps()
+    }
+}
+
+impl<T: Data + EstimateSize> RddNode<T> for SerializedCachedNode<T> {
+    fn compute(&self, partition: usize, ctx: &TaskContext<'_>) -> Vec<T> {
+        let bm = self.inner.cluster.block_manager();
+        if let Some(hit) = bm.get::<T>(self.inner.id, partition) {
+            return hit;
+        }
+        let data = self.inner.parent.compute(partition, ctx);
+        let bytes: u64 = data.iter().map(|r| r.estimate_size() as u64).sum();
+        bm.put(
+            self.inner.id,
+            partition,
+            data.clone(),
+            bytes,
+            StorageLevel::MemorySerialized,
+        );
+        data
+    }
+}

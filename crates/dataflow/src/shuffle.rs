@@ -1,0 +1,283 @@
+//! In-memory shuffle service.
+//!
+//! Maps Spark's shuffle files: the map side of a shuffle writes, for each
+//! map partition, one bucket per reduce partition; reducers later fetch
+//! "their" bucket from every map output. Byte sizes are estimated at write
+//! time so the read side can attribute remote/local traffic without
+//! re-walking records.
+
+use crate::hash::FxHashMap;
+use parking_lot::Mutex;
+use std::any::Any;
+
+/// One map task's output: `buckets[r]` holds the records destined for
+/// reduce partition `r`. Stored type-erased; the typed shuffle dependency
+/// downcasts on read.
+struct MapOutput {
+    buckets: Box<dyn Any + Send + Sync>,
+    bucket_bytes: Vec<u64>,
+    bucket_records: Vec<u64>,
+}
+
+struct ShuffleData {
+    num_reduce: usize,
+    map_outputs: Vec<Option<MapOutput>>,
+}
+
+/// One bucket fetched by a reducer.
+pub struct FetchedBucket<T> {
+    /// Which map partition produced the bucket.
+    pub map_partition: usize,
+    /// The records.
+    pub records: Vec<T>,
+    /// Estimated serialized size recorded at write time.
+    pub bytes: u64,
+}
+
+/// Cluster-wide registry of in-flight shuffle data.
+#[derive(Default)]
+pub struct ShuffleService {
+    shuffles: Mutex<FxHashMap<usize, ShuffleData>>,
+}
+
+impl ShuffleService {
+    /// Creates an empty service.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a shuffle before its map stage runs. Idempotent.
+    pub fn register(&self, shuffle_id: usize, num_maps: usize, num_reduce: usize) {
+        let mut s = self.shuffles.lock();
+        s.entry(shuffle_id).or_insert_with(|| ShuffleData {
+            num_reduce,
+            map_outputs: (0..num_maps).map(|_| None).collect(),
+        });
+    }
+
+    /// Stores the bucketed output of one map task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shuffle is unregistered or the bucket count disagrees
+    /// with the registered reduce partition count.
+    pub fn put_map_output<T: Send + Sync + 'static>(
+        &self,
+        shuffle_id: usize,
+        map_partition: usize,
+        buckets: Vec<Vec<T>>,
+        bucket_bytes: Vec<u64>,
+    ) {
+        let mut s = self.shuffles.lock();
+        let data = s
+            .get_mut(&shuffle_id)
+            .unwrap_or_else(|| panic!("shuffle {shuffle_id} not registered"));
+        assert_eq!(buckets.len(), data.num_reduce, "bucket count mismatch");
+        assert_eq!(bucket_bytes.len(), data.num_reduce);
+        let bucket_records = buckets.iter().map(|b| b.len() as u64).collect();
+        data.map_outputs[map_partition] = Some(MapOutput {
+            buckets: Box::new(buckets),
+            bucket_bytes,
+            bucket_records,
+        });
+    }
+
+    /// Whether every map output for `shuffle_id` has been stored.
+    pub fn is_complete(&self, shuffle_id: usize) -> bool {
+        let s = self.shuffles.lock();
+        s.get(&shuffle_id)
+            .map(|d| d.map_outputs.iter().all(Option::is_some))
+            .unwrap_or(false)
+    }
+
+    /// Whether the shuffle id is known at all.
+    pub fn contains(&self, shuffle_id: usize) -> bool {
+        self.shuffles.lock().contains_key(&shuffle_id)
+    }
+
+    /// Map partitions of `shuffle_id` whose output is absent (never
+    /// written, or lost to a simulated node failure). Unregistered
+    /// shuffles report an empty list.
+    pub fn missing_map_outputs(&self, shuffle_id: usize) -> Vec<usize> {
+        let s = self.shuffles.lock();
+        s.get(&shuffle_id)
+            .map(|d| {
+                d.map_outputs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, o)| o.is_none())
+                    .map(|(i, _)| i)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Drops every map output written by a map partition for which
+    /// `lost(map_partition)` is true — the shuffle-file loss caused by a
+    /// node failure. Affected shuffles become incomplete and re-run their
+    /// missing map tasks on next use.
+    pub fn remove_map_outputs_where(&self, lost: impl Fn(usize) -> bool) -> usize {
+        let mut removed = 0;
+        let mut s = self.shuffles.lock();
+        for data in s.values_mut() {
+            for (map_partition, slot) in data.map_outputs.iter_mut().enumerate() {
+                if slot.is_some() && lost(map_partition) {
+                    *slot = None;
+                    removed += 1;
+                }
+            }
+        }
+        removed
+    }
+
+    /// Fetches reduce partition `reduce_partition`'s bucket from every map
+    /// output, in map-partition order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shuffle is missing, incomplete, or was written with a
+    /// different record type.
+    pub fn read<T: Clone + Send + Sync + 'static>(
+        &self,
+        shuffle_id: usize,
+        reduce_partition: usize,
+    ) -> Vec<FetchedBucket<T>> {
+        let s = self.shuffles.lock();
+        let data = s
+            .get(&shuffle_id)
+            .unwrap_or_else(|| panic!("shuffle {shuffle_id} not materialized"));
+        data.map_outputs
+            .iter()
+            .enumerate()
+            .map(|(map_partition, out)| {
+                let out = out
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("shuffle {shuffle_id} map {map_partition} missing"));
+                let buckets = out
+                    .buckets
+                    .downcast_ref::<Vec<Vec<T>>>()
+                    .expect("shuffle read with mismatched record type");
+                FetchedBucket {
+                    map_partition,
+                    records: buckets[reduce_partition].clone(),
+                    bytes: out.bucket_bytes[reduce_partition],
+                }
+            })
+            .collect()
+    }
+
+    /// Records stored for one reduce partition across all map outputs
+    /// (metadata only; no clone).
+    pub fn reduce_partition_records(&self, shuffle_id: usize, reduce_partition: usize) -> u64 {
+        let s = self.shuffles.lock();
+        s.get(&shuffle_id)
+            .map(|d| {
+                d.map_outputs
+                    .iter()
+                    .flatten()
+                    .map(|o| o.bucket_records[reduce_partition])
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Drops a shuffle's data (Spark's `unpersist` of shuffle files).
+    pub fn remove(&self, shuffle_id: usize) {
+        self.shuffles.lock().remove(&shuffle_id);
+    }
+
+    /// Drops every stored shuffle (the engine's analogue of Spark's
+    /// `ContextCleaner` reclaiming shuffle files). Lineage transparently
+    /// re-materializes a cleared shuffle if a later job needs it, so this
+    /// is always safe — merely a time/space trade.
+    pub fn clear(&self) {
+        self.shuffles.lock().clear();
+    }
+
+    /// Number of live shuffles (for leak checks in tests).
+    pub fn live_shuffles(&self) -> usize {
+        self.shuffles.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_two_maps_two_reducers() {
+        let svc = ShuffleService::new();
+        svc.register(1, 2, 2);
+        assert!(!svc.is_complete(1));
+        svc.put_map_output::<(u32, f64)>(1, 0, vec![vec![(1, 1.0)], vec![(2, 2.0)]], vec![12, 12]);
+        svc.put_map_output::<(u32, f64)>(1, 1, vec![vec![(3, 3.0)], vec![]], vec![12, 0]);
+        assert!(svc.is_complete(1));
+
+        let r0 = svc.read::<(u32, f64)>(1, 0);
+        assert_eq!(r0.len(), 2);
+        assert_eq!(r0[0].records, vec![(1, 1.0)]);
+        assert_eq!(r0[1].records, vec![(3, 3.0)]);
+        assert_eq!(r0[0].bytes, 12);
+
+        let r1 = svc.read::<(u32, f64)>(1, 1);
+        assert_eq!(r1[0].records, vec![(2, 2.0)]);
+        assert!(r1[1].records.is_empty());
+        assert_eq!(svc.reduce_partition_records(1, 0), 2);
+        assert_eq!(svc.reduce_partition_records(1, 1), 1);
+    }
+
+    #[test]
+    fn register_is_idempotent() {
+        let svc = ShuffleService::new();
+        svc.register(5, 1, 1);
+        svc.put_map_output(5, 0, vec![vec![9u32]], vec![4]);
+        svc.register(5, 1, 1); // must not wipe existing data
+        assert!(svc.is_complete(5));
+    }
+
+    #[test]
+    fn clear_frees_everything() {
+        let svc = ShuffleService::new();
+        svc.register(1, 1, 1);
+        svc.put_map_output::<u8>(1, 0, vec![vec![1]], vec![1]);
+        svc.register(2, 1, 1);
+        assert_eq!(svc.live_shuffles(), 2);
+        svc.clear();
+        assert_eq!(svc.live_shuffles(), 0);
+    }
+
+    #[test]
+    fn remove_frees_shuffle() {
+        let svc = ShuffleService::new();
+        svc.register(2, 1, 1);
+        svc.put_map_output(2, 0, vec![vec![1u8]], vec![1]);
+        assert_eq!(svc.live_shuffles(), 1);
+        svc.remove(2);
+        assert_eq!(svc.live_shuffles(), 0);
+        assert!(!svc.is_complete(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn put_to_unregistered_panics() {
+        let svc = ShuffleService::new();
+        svc.put_map_output(9, 0, vec![vec![1u8]], vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched record type")]
+    fn type_confusion_panics() {
+        let svc = ShuffleService::new();
+        svc.register(3, 1, 1);
+        svc.put_map_output(3, 0, vec![vec![1u32]], vec![4]);
+        let _ = svc.read::<u64>(3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket count mismatch")]
+    fn wrong_bucket_count_panics() {
+        let svc = ShuffleService::new();
+        svc.register(4, 1, 3);
+        svc.put_map_output(4, 0, vec![vec![1u32]], vec![4]);
+    }
+}

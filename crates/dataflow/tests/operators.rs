@@ -1,0 +1,284 @@
+//! Tests for the extended operator set: sort_by_key, distinct, sample,
+//! coalesce, zip_with_index, combine_by_key, aggregate_by_key, broadcast.
+
+use cstf_dataflow::{Cluster, ClusterConfig};
+use std::collections::BTreeMap;
+
+fn cluster() -> Cluster {
+    Cluster::new(ClusterConfig::local(4).nodes(4))
+}
+
+#[test]
+fn sort_by_key_produces_globally_sorted_output() {
+    let c = cluster();
+    let data: Vec<(u32, u32)> = (0..1000u32).rev().map(|k| (k * 7 % 997, k)).collect();
+    let sorted = c.parallelize(data.clone(), 8).sort_by_key(6).collect();
+    assert_eq!(sorted.len(), data.len());
+    for w in sorted.windows(2) {
+        assert!(w[0].0 <= w[1].0, "out of order: {:?} then {:?}", w[0], w[1]);
+    }
+    // Same multiset of records.
+    let mut expect = data;
+    expect.sort();
+    let mut got = sorted;
+    got.sort();
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn sort_by_key_handles_skewed_and_tiny_inputs() {
+    let c = cluster();
+    // Heavy duplication of one key.
+    let data: Vec<(u32, u8)> = (0..200).map(|i| (if i % 3 == 0 { 5 } else { i }, 0)).collect();
+    let sorted = c.parallelize(data, 5).sort_by_key(4).collect();
+    for w in sorted.windows(2) {
+        assert!(w[0].0 <= w[1].0);
+    }
+    // Empty input.
+    let empty = c.parallelize(Vec::<(u32, u8)>::new(), 3).sort_by_key(4).collect();
+    assert!(empty.is_empty());
+    // Single record.
+    let one = c.parallelize(vec![(9u32, 1u8)], 2).sort_by_key(4).collect();
+    assert_eq!(one, vec![(9, 1)]);
+}
+
+#[test]
+fn distinct_removes_duplicates() {
+    let c = cluster();
+    let data = vec![3u32, 1, 3, 7, 1, 1, 9, 7];
+    let mut got = c.parallelize(data, 3).distinct().collect();
+    got.sort_unstable();
+    assert_eq!(got, vec![1, 3, 7, 9]);
+}
+
+#[test]
+fn distinct_on_pairs() {
+    let c = cluster();
+    let data = vec![(1u32, 2u32), (1, 2), (1, 3)];
+    let got = c.parallelize(data, 2).distinct().collect();
+    assert_eq!(got.len(), 2);
+}
+
+#[test]
+fn sample_is_deterministic_and_proportional() {
+    let c = cluster();
+    let rdd = c.parallelize((0u32..10_000).collect(), 8);
+    let s1 = rdd.sample(0.2, 42).collect();
+    let s2 = rdd.sample(0.2, 42).collect();
+    assert_eq!(s1, s2, "same seed must give the same sample");
+    let frac = s1.len() as f64 / 10_000.0;
+    assert!((0.17..0.23).contains(&frac), "fraction {frac}");
+    let s3 = rdd.sample(0.2, 43).collect();
+    assert_ne!(s1, s3, "different seed should differ");
+    assert!(rdd.sample(0.0, 1).collect().is_empty());
+    assert_eq!(rdd.sample(1.0, 1).count(), 10_000);
+}
+
+#[test]
+fn coalesce_merges_partitions_without_losing_records() {
+    let c = cluster();
+    let rdd = c.parallelize((0u32..100).collect(), 10);
+    let co = rdd.coalesce(3);
+    assert_eq!(co.num_partitions(), 3);
+    let mut got = co.collect();
+    got.sort_unstable();
+    assert_eq!(got, (0..100).collect::<Vec<_>>());
+    // No shuffle happened.
+    assert_eq!(c.metrics().snapshot().shuffle_count(), 0);
+    // Coalescing to more partitions than exist is a no-op.
+    assert_eq!(rdd.coalesce(50).num_partitions(), 10);
+}
+
+#[test]
+fn zip_with_index_is_global_and_ordered() {
+    let c = cluster();
+    let data: Vec<u32> = (100..200).collect();
+    let zipped = c.parallelize(data.clone(), 7).zip_with_index().collect();
+    assert_eq!(zipped.len(), 100);
+    for (i, (v, idx)) in zipped.iter().enumerate() {
+        assert_eq!(*idx, i as u64);
+        assert_eq!(*v, data[i]);
+    }
+}
+
+#[test]
+fn combine_by_key_builds_custom_combiners() {
+    let c = cluster();
+    let data = vec![(1u32, 5u32), (2, 1), (1, 7), (2, 2), (1, 6)];
+    // Combiner: (count, max).
+    let got: BTreeMap<u32, (u32, u32)> = c
+        .parallelize(data, 3)
+        .combine_by_key(
+            4,
+            true,
+            |v| (1u32, v),
+            |(n, m), v| (n + 1, m.max(v)),
+            |(n1, m1), (n2, m2)| (n1 + n2, m1.max(m2)),
+        )
+        .collect()
+        .into_iter()
+        .collect();
+    assert_eq!(got[&1], (3, 7));
+    assert_eq!(got[&2], (2, 2));
+}
+
+#[test]
+fn aggregate_by_key_folds_into_zero() {
+    let c = cluster();
+    let data = vec![(1u32, 2u64), (1, 3), (2, 10)];
+    let got: BTreeMap<u32, u64> = c
+        .parallelize(data, 2)
+        .aggregate_by_key(100u64, |acc, v| acc + v, |a, b| a + b - 100)
+        .collect()
+        .into_iter()
+        .collect();
+    // Per-key fold starts from the zero once per combiner; merging
+    // compensates. Key 1: 100+2+3; key 2: 100+10 (single combiner each,
+    // since reduce-side create starts one combiner per first value).
+    assert_eq!(got[&1], 105);
+    assert_eq!(got[&2], 110);
+}
+
+#[test]
+fn partition_by_range_places_ranges_contiguously() {
+    use cstf_dataflow::partitioner::RangePartitioner;
+    let c = cluster();
+    let data: Vec<(u32, ())> = (0..90u32).map(|k| (k, ())).collect();
+    let rdd = c
+        .parallelize(data, 4)
+        .partition_by_range(RangePartitioner::new(vec![29, 59]));
+    assert_eq!(rdd.num_partitions(), 3);
+    let per_part = rdd.map_partitions(|idx, d| vec![(idx, d.len())]).collect();
+    let counts: BTreeMap<usize, usize> = per_part.into_iter().collect();
+    assert_eq!(counts[&0], 30);
+    assert_eq!(counts[&1], 30);
+    assert_eq!(counts[&2], 30);
+}
+
+#[test]
+fn broadcast_join_pattern_matches_shuffle_join() {
+    // The broadcast-join idiom CSTF's extension uses: small side is
+    // broadcast, the big side maps over it — no shuffle of either side.
+    let c = cluster();
+    let big: Vec<(u32, f64)> = (0..1000).map(|i| (i % 50, i as f64)).collect();
+    let small: Vec<(u32, f64)> = (0..50u32).map(|k| (k, k as f64 * 10.0)).collect();
+
+    let shuffled = {
+        let mut v = c
+            .parallelize(big.clone(), 8)
+            .join(&c.parallelize(small.clone(), 4))
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    };
+
+    c.metrics().reset();
+    let lookup = c.broadcast(small.into_iter().collect::<BTreeMap<u32, f64>>());
+    let broadcast_joined = {
+        let mut v = c
+            .parallelize(big, 8)
+            .map(move |(k, v)| (k, (v, lookup[&k])))
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    };
+    assert_eq!(shuffled, broadcast_joined);
+    // Broadcast path shuffles nothing.
+    let m = c.metrics().snapshot();
+    assert_eq!(m.shuffle_count(), 0);
+    assert!(m.total_broadcast_bytes() > 0);
+}
+
+#[test]
+fn sorted_output_feeds_downstream_ops() {
+    let c = cluster();
+    let data: Vec<(u32, u32)> = (0..500u32).map(|k| (499 - k, k)).collect();
+    let top3 = c.parallelize(data, 8).sort_by_key(4).take(3);
+    assert_eq!(
+        top3.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+        vec![0, 1, 2]
+    );
+}
+
+#[test]
+fn full_outer_join_covers_both_sides() {
+    let c = cluster();
+    let left = vec![(1u32, 10u8), (2, 20)];
+    let right = vec![(2u32, 200u16), (3, 300)];
+    let mut got = c
+        .parallelize(left, 2)
+        .full_outer_join(&c.parallelize(right, 2))
+        .collect();
+    got.sort();
+    assert_eq!(
+        got,
+        vec![
+            (1, (Some(10), None)),
+            (2, (Some(20), Some(200))),
+            (3, (None, Some(300))),
+        ]
+    );
+}
+
+#[test]
+fn subtract_by_key_removes_matching_keys() {
+    let c = cluster();
+    let left = vec![(1u32, 1u8), (2, 2), (2, 22), (3, 3)];
+    let right = vec![(2u32, ()), (9, ())];
+    let mut got = c
+        .parallelize(left, 3)
+        .subtract_by_key(&c.parallelize(right, 2))
+        .collect();
+    got.sort();
+    assert_eq!(got, vec![(1, 1), (3, 3)]);
+}
+
+#[test]
+fn lookup_finds_all_values() {
+    let c = cluster();
+    let data = vec![(7u32, 1u8), (8, 2), (7, 3)];
+    let rdd = c.parallelize(data, 3);
+    let mut vs = rdd.lookup(&7);
+    vs.sort();
+    assert_eq!(vs, vec![1, 3]);
+    assert!(rdd.lookup(&99).is_empty());
+}
+
+#[test]
+fn results_identical_across_executor_thread_counts() {
+    // Thread interleavings must not leak into results or byte metrics:
+    // everything is keyed by deterministic hashing and read in fixed
+    // partition order.
+    let run = |threads: usize| {
+        let c = Cluster::new(
+            ClusterConfig::local(threads)
+                .nodes(4)
+                .default_parallelism(12),
+        );
+        let data: Vec<(u32, f64)> = (0..5000).map(|i| (i % 97, i as f64 * 0.25)).collect();
+        let out = c
+            .parallelize(data, 12)
+            .reduce_by_key(|a, b| a + b)
+            .map(|(k, v)| (k, v * 2.0))
+            .sort_by_key(6)
+            .collect();
+        let m = c.metrics().snapshot();
+        (out, m.total_remote_bytes(), m.total_local_bytes())
+    };
+    let single = run(1);
+    let multi = run(8);
+    assert_eq!(single, multi);
+}
+
+#[test]
+fn many_partitions_stress() {
+    let c = Cluster::new(ClusterConfig::local(4).nodes(16).default_parallelism(64));
+    let data: Vec<(u32, u64)> = (0..20_000).map(|i| (i % 512, 1)).collect();
+    let total: u64 = c
+        .parallelize(data, 200)
+        .reduce_by_key(|a, b| a + b)
+        .values()
+        .reduce(|a, b| a + b)
+        .unwrap();
+    assert_eq!(total, 20_000);
+}

@@ -1,0 +1,256 @@
+//! Sequential (shared-memory) reference implementations of MTTKRP.
+//!
+//! The Matricized Tensor Times Khatri-Rao Product along mode `n`,
+//! `Mₙ = X₍ₙ₎ (A_N ⊙ ⋯ ⊙ A_{n+1} ⊙ A_{n-1} ⊙ ⋯ ⊙ A_1)`, dominates CP-ALS
+//! runtime (paper §2.3). These reference implementations anchor correctness:
+//! the distributed CSTF-COO and CSTF-QCOO pipelines in `cstf-core` must
+//! produce the same `Mₙ` (up to floating-point reassociation).
+//!
+//! [`mttkrp`] is the nonzero-driven form of Algorithm 2 in the paper:
+//! for each nonzero, the Hadamard product of one row from every non-target
+//! factor is scaled by the tensor value and accumulated into the output row.
+
+use crate::kr::khatri_rao_all;
+use crate::matricize::matricize;
+use crate::{CooTensor, DenseMatrix, Result, TensorError};
+
+fn check_factors(t: &CooTensor, factors: &[&DenseMatrix], mode: usize) -> Result<usize> {
+    if factors.len() != t.order() {
+        return Err(TensorError::ShapeMismatch(format!(
+            "got {} factor matrices for an order-{} tensor",
+            factors.len(),
+            t.order()
+        )));
+    }
+    if mode >= t.order() {
+        return Err(TensorError::ShapeMismatch(format!(
+            "mode {mode} out of range for order-{} tensor",
+            t.order()
+        )));
+    }
+    let rank = factors[0].cols();
+    for (m, f) in factors.iter().enumerate() {
+        if f.cols() != rank {
+            return Err(TensorError::ShapeMismatch(format!(
+                "factor {m} has rank {} but factor 0 has rank {rank}",
+                f.cols()
+            )));
+        }
+        if f.rows() != t.shape()[m] as usize {
+            return Err(TensorError::ShapeMismatch(format!(
+                "factor {m} has {} rows but mode extent is {}",
+                f.rows(),
+                t.shape()[m]
+            )));
+        }
+    }
+    Ok(rank)
+}
+
+/// Nonzero-driven MTTKRP along `mode` (Algorithm 2 of the paper, generalized
+/// to order N): `M(iₙ,:) += X(i₁,…,i_N) · ∗_{m≠n} A_m(iₘ,:)`.
+///
+/// `factors` must contain one matrix per mode; `factors[mode]` is ignored
+/// except for shape checking.
+pub fn mttkrp(t: &CooTensor, factors: &[&DenseMatrix], mode: usize) -> Result<DenseMatrix> {
+    let rank = check_factors(t, factors, mode)?;
+    let mut out = DenseMatrix::zeros(t.shape()[mode] as usize, rank);
+    let mut acc = vec![0.0f64; rank];
+    for (coord, val) in t.iter() {
+        acc.iter_mut().for_each(|a| *a = val);
+        for (m, f) in factors.iter().enumerate() {
+            if m == mode {
+                continue;
+            }
+            let row = f.row(coord[m] as usize);
+            for (a, &x) in acc.iter_mut().zip(row) {
+                *a *= x;
+            }
+        }
+        let orow = out.row_mut(coord[mode] as usize);
+        for (o, &a) in orow.iter_mut().zip(&acc) {
+            *o += a;
+        }
+    }
+    Ok(out)
+}
+
+/// MTTKRP computed the "textbook" way: explicit unfolding times explicit
+/// Khatri-Rao product. Exercises the intermediate-data-explosion path
+/// (paper §2.3) — only usable when `Π_{m≠n} Iₘ` is small. Used to
+/// cross-validate [`mttkrp`].
+pub fn mttkrp_unfolded(
+    t: &CooTensor,
+    factors: &[&DenseMatrix],
+    mode: usize,
+) -> Result<DenseMatrix> {
+    check_factors(t, factors, mode)?;
+    let unfolded = matricize(t, mode)?;
+    // Khatri-Rao over the non-target factors in descending mode order, so
+    // the fastest-varying row index matches the unfolding's column stride.
+    let kr_factors: Vec<&DenseMatrix> = (0..t.order())
+        .rev()
+        .filter(|&m| m != mode)
+        .map(|m| factors[m])
+        .collect();
+    let kr = khatri_rao_all(&kr_factors)?;
+    unfolded.matmul_dense(&kr)
+}
+
+/// Multi-threaded nonzero-driven MTTKRP: splits the nonzeros into chunks,
+/// accumulates per-thread partial outputs, then sums them. Bit-for-bit
+/// results differ from [`mttkrp`] only by floating-point reassociation.
+pub fn mttkrp_parallel(
+    t: &CooTensor,
+    factors: &[&DenseMatrix],
+    mode: usize,
+    threads: usize,
+) -> Result<DenseMatrix> {
+    let rank = check_factors(t, factors, mode)?;
+    let threads = threads.max(1);
+    if threads == 1 || t.nnz() < 1024 {
+        return mttkrp(t, factors, mode);
+    }
+    let chunks = t.chunks(threads);
+    let partials: Vec<Result<DenseMatrix>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| scope.spawn(move || mttkrp(chunk, factors, mode)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    let mut out = DenseMatrix::zeros(t.shape()[mode] as usize, rank);
+    for p in partials {
+        out = out.add(&p?)?;
+    }
+    Ok(out)
+}
+
+/// Number of floating-point operations one nonzero contributes to an MTTKRP
+/// of rank `r` on an order-`n` tensor: `(n-1)` Hadamard multiplies plus one
+/// accumulate per rank component.
+pub fn flops_per_nonzero(order: usize, rank: usize) -> u64 {
+    ((order - 1) as u64 + 1) * rank as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::RandomTensor;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn factors_for(t: &CooTensor, rank: usize, seed: u64) -> Vec<DenseMatrix> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        t.shape()
+            .iter()
+            .map(|&s| DenseMatrix::random(s as usize, rank, &mut rng))
+            .collect()
+    }
+
+    fn refs(f: &[DenseMatrix]) -> Vec<&DenseMatrix> {
+        f.iter().collect()
+    }
+
+    #[test]
+    fn hand_computed_mode1() {
+        // X(0,1,1) = 2, B = [[1],[2]], C = [[3],[4]]  (rank 1)
+        let t = CooTensor::from_entries(vec![2, 2, 2], vec![(vec![0, 1, 1], 2.0)]).unwrap();
+        let a = DenseMatrix::zeros(2, 1);
+        let b = DenseMatrix::from_rows(&[&[1.0], &[2.0]]);
+        let c = DenseMatrix::from_rows(&[&[3.0], &[4.0]]);
+        let m = mttkrp(&t, &[&a, &b, &c], 0).unwrap();
+        // M(0,0) = 2 · B(1,0) · C(1,0) = 2·2·4 = 16.
+        assert_eq!(m.get(0, 0), 16.0);
+        assert_eq!(m.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn matches_unfolded_all_modes_order3() {
+        let t = RandomTensor::new(vec![6, 5, 4]).nnz(40).seed(13).build();
+        let f = factors_for(&t, 3, 5);
+        for mode in 0..3 {
+            let fast = mttkrp(&t, &refs(&f), mode).unwrap();
+            let slow = mttkrp_unfolded(&t, &refs(&f), mode).unwrap();
+            assert!(
+                fast.max_abs_diff(&slow) < 1e-10,
+                "mode {mode} mismatch: {}",
+                fast.max_abs_diff(&slow)
+            );
+        }
+    }
+
+    #[test]
+    fn matches_unfolded_all_modes_order4() {
+        let t = RandomTensor::new(vec![4, 3, 5, 2]).nnz(30).seed(29).build();
+        let f = factors_for(&t, 2, 7);
+        for mode in 0..4 {
+            let fast = mttkrp(&t, &refs(&f), mode).unwrap();
+            let slow = mttkrp_unfolded(&t, &refs(&f), mode).unwrap();
+            assert!(fast.max_abs_diff(&slow) < 1e-10, "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let t = RandomTensor::new(vec![20, 30, 25]).nnz(5000).seed(3).build();
+        let f = factors_for(&t, 4, 11);
+        for mode in 0..3 {
+            let seq = mttkrp(&t, &refs(&f), mode).unwrap();
+            let par = mttkrp_parallel(&t, &refs(&f), mode, 4).unwrap();
+            assert!(par.max_abs_diff(&seq) < 1e-9, "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn empty_tensor_gives_zero_output() {
+        let t = CooTensor::new(vec![3, 3, 3]);
+        let f = factors_for(&t, 2, 1);
+        let m = mttkrp(&t, &refs(&f), 0).unwrap();
+        assert_eq!(m, DenseMatrix::zeros(3, 2));
+    }
+
+    #[test]
+    fn rejects_wrong_factor_count_and_shapes() {
+        let t = RandomTensor::new(vec![3, 3, 3]).nnz(5).seed(1).build();
+        let f = factors_for(&t, 2, 1);
+        assert!(mttkrp(&t, &[&f[0], &f[1]], 0).is_err());
+        assert!(mttkrp(&t, &refs(&f), 3).is_err());
+        let bad_rank = DenseMatrix::zeros(3, 5);
+        assert!(mttkrp(&t, &[&f[0], &f[1], &bad_rank], 0).is_err());
+        let bad_rows = DenseMatrix::zeros(7, 2);
+        assert!(mttkrp(&t, &[&bad_rows, &f[1], &f[2]], 0).is_err());
+    }
+
+    #[test]
+    fn linearity_in_tensor_values() {
+        // MTTKRP is linear in X: M(2X) = 2·M(X).
+        let t = RandomTensor::new(vec![5, 5, 5]).nnz(25).seed(77).build();
+        let mut t2 = t.clone();
+        for z in 0..t2.nnz() {
+            let v = t2.value(z);
+            let coord = t2.coord(z).to_vec();
+            // rebuild with doubled values
+            let _ = (v, coord);
+        }
+        let t2 = CooTensor::from_flat(
+            t.shape().to_vec(),
+            t.flat_indices().to_vec(),
+            t.values().iter().map(|v| 2.0 * v).collect(),
+        )
+        .unwrap();
+        let f = factors_for(&t, 3, 2);
+        let m1 = mttkrp(&t, &refs(&f), 1).unwrap();
+        let mut m1x2 = m1.clone();
+        m1x2.scale(2.0);
+        let m2 = mttkrp(&t2, &refs(&f), 1).unwrap();
+        assert!(m2.max_abs_diff(&m1x2) < 1e-10);
+    }
+
+    #[test]
+    fn flops_formula() {
+        // 3rd order: 3·nnz·R total per the paper (Table 4: 3 nnz R for one
+        // MTTKRP, i.e. 3R per nonzero = (N-1)+1 = 3 vector ops of R flops).
+        assert_eq!(flops_per_nonzero(3, 2), 6);
+        assert_eq!(flops_per_nonzero(4, 8), 32);
+    }
+}

@@ -1,0 +1,290 @@
+//! Whole-tensor operations: tensor-times-vector, tensor-times-matrix,
+//! inner products and sums.
+//!
+//! These are the building blocks of the broader tensor-mining toolkits
+//! the paper compares against (HaTen2 and BIGtensor expose them as
+//! primitives); CP-ALS itself only needs MTTKRP, but a library a
+//! downstream user adopts wants the full set.
+
+use crate::{CooTensor, DenseMatrix, Result, TensorError};
+
+/// Tensor-times-vector along `mode`: contracts the mode away, producing
+/// an order `N−1` tensor with
+/// `Y(i₁,…,î_n,…,i_N) = Σ_{i_n} X(…) · v(i_n)`.
+/// Duplicate output coordinates are summed.
+///
+/// ```
+/// use cstf_tensor::{ops::ttv, CooTensor};
+///
+/// let x = CooTensor::from_entries(
+///     vec![2, 3],
+///     vec![(vec![0, 1], 2.0), (vec![1, 2], 3.0)],
+/// ).unwrap();
+/// let y = ttv(&x, &[1.0, 10.0, 100.0], 1).unwrap();
+/// assert_eq!(y.shape(), &[2]);           // mode 1 contracted away
+/// assert_eq!(y.to_dense(), vec![20.0, 300.0]);
+/// ```
+pub fn ttv(t: &CooTensor, v: &[f64], mode: usize) -> Result<CooTensor> {
+    if mode >= t.order() {
+        return Err(TensorError::ShapeMismatch(format!(
+            "mode {mode} out of range for order-{}",
+            t.order()
+        )));
+    }
+    if t.order() < 2 {
+        return Err(TensorError::ShapeMismatch(
+            "ttv needs an order ≥ 2 tensor".into(),
+        ));
+    }
+    if v.len() != t.shape()[mode] as usize {
+        return Err(TensorError::ShapeMismatch(format!(
+            "vector has {} entries, mode extent is {}",
+            v.len(),
+            t.shape()[mode]
+        )));
+    }
+    let out_shape: Vec<u32> = t
+        .shape()
+        .iter()
+        .enumerate()
+        .filter(|&(m, _)| m != mode)
+        .map(|(_, &s)| s)
+        .collect();
+    let mut out = CooTensor::with_capacity(out_shape, t.nnz());
+    let mut coord = Vec::with_capacity(t.order() - 1);
+    for (c, val) in t.iter() {
+        let w = v[c[mode] as usize];
+        if w == 0.0 {
+            continue;
+        }
+        coord.clear();
+        coord.extend(c.iter().enumerate().filter(|&(m, _)| m != mode).map(|(_, &i)| i));
+        out.push(&coord, val * w)?;
+    }
+    out.sum_duplicates();
+    Ok(out)
+}
+
+/// Tensor-times-matrix along `mode`: `Y = X ×_n Mᵀ` with `M: J × Iₙ`,
+/// replacing the mode's extent by `J`:
+/// `Y(…, j, …) = Σ_{i_n} X(…, i_n, …) · M(j, i_n)`.
+///
+/// The output can be much denser than the input (each nonzero fans out to
+/// up to `J` positions); keep `J` small or the fibers sparse.
+pub fn ttm(t: &CooTensor, m: &DenseMatrix, mode: usize) -> Result<CooTensor> {
+    if mode >= t.order() {
+        return Err(TensorError::ShapeMismatch(format!(
+            "mode {mode} out of range for order-{}",
+            t.order()
+        )));
+    }
+    if m.cols() != t.shape()[mode] as usize {
+        return Err(TensorError::ShapeMismatch(format!(
+            "matrix has {} columns, mode extent is {}",
+            m.cols(),
+            t.shape()[mode]
+        )));
+    }
+    let mut out_shape = t.shape().to_vec();
+    out_shape[mode] = m.rows() as u32;
+    let mut out = CooTensor::with_capacity(out_shape, t.nnz() * m.rows().min(4));
+    let mut coord = vec![0u32; t.order()];
+    for (c, val) in t.iter() {
+        coord.copy_from_slice(c);
+        for j in 0..m.rows() {
+            let w = m.get(j, c[mode] as usize);
+            if w == 0.0 {
+                continue;
+            }
+            coord[mode] = j as u32;
+            out.push(&coord, val * w)?;
+        }
+    }
+    out.sum_duplicates();
+    Ok(out)
+}
+
+/// Inner product `⟨X, Y⟩ = Σ X_z · Y_z` of two same-shape sparse tensors.
+pub fn inner(a: &CooTensor, b: &CooTensor) -> Result<f64> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::ShapeMismatch(format!(
+            "shapes {:?} vs {:?}",
+            a.shape(),
+            b.shape()
+        )));
+    }
+    // Hash the smaller side.
+    let (small, large) = if a.nnz() <= b.nnz() { (a, b) } else { (b, a) };
+    let mut map: std::collections::HashMap<&[u32], f64> =
+        std::collections::HashMap::with_capacity(small.nnz());
+    for (c, v) in small.iter() {
+        *map.entry(c).or_insert(0.0) += v;
+    }
+    Ok(large
+        .iter()
+        .filter_map(|(c, v)| map.get(c).map(|&w| v * w))
+        .sum())
+}
+
+/// Element-wise sum of two same-shape sparse tensors (duplicates summed).
+pub fn add(a: &CooTensor, b: &CooTensor) -> Result<CooTensor> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::ShapeMismatch(format!(
+            "shapes {:?} vs {:?}",
+            a.shape(),
+            b.shape()
+        )));
+    }
+    let mut out = CooTensor::with_capacity(a.shape().to_vec(), a.nnz() + b.nnz());
+    for (c, v) in a.iter().chain(b.iter()) {
+        out.push(c, v)?;
+    }
+    out.sum_duplicates();
+    Ok(out)
+}
+
+/// Scales every stored value by `s`, returning a new tensor.
+pub fn scale(t: &CooTensor, s: f64) -> CooTensor {
+    CooTensor::from_flat(
+        t.shape().to_vec(),
+        t.flat_indices().to_vec(),
+        t.values().iter().map(|v| v * s).collect(),
+    )
+    .expect("same layout is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::RandomTensor;
+
+    fn t3() -> CooTensor {
+        CooTensor::from_entries(
+            vec![2, 3, 4],
+            vec![
+                (vec![0, 0, 0], 1.0),
+                (vec![0, 2, 1], 2.0),
+                (vec![1, 2, 3], 3.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ttv_contracts_mode() {
+        // Contract mode 2 (extent 4) with v.
+        let v = [1.0, 10.0, 100.0, 1000.0];
+        let y = ttv(&t3(), &v, 2).unwrap();
+        assert_eq!(y.shape(), &[2, 3]);
+        let dense = y.to_dense();
+        // Y(0,0) = 1·1, Y(0,2) = 2·10, Y(1,2) = 3·1000.
+        assert_eq!(dense[y.linear_index(&[0, 0])], 1.0);
+        assert_eq!(dense[y.linear_index(&[0, 2])], 20.0);
+        assert_eq!(dense[y.linear_index(&[1, 2])], 3000.0);
+    }
+
+    #[test]
+    fn ttv_merges_collisions() {
+        let t = CooTensor::from_entries(
+            vec![2, 2],
+            vec![(vec![0, 0], 1.0), (vec![0, 1], 2.0)],
+        )
+        .unwrap();
+        let y = ttv(&t, &[1.0, 1.0], 1).unwrap();
+        assert_eq!(y.shape(), &[2]);
+        assert_eq!(y.nnz(), 1);
+        assert_eq!(y.value(0), 3.0);
+    }
+
+    #[test]
+    fn ttv_with_ones_equals_mode_sum() {
+        let t = RandomTensor::new(vec![5, 6, 7]).nnz(60).seed(1).build();
+        let y = ttv(&t, &vec![1.0; 7], 2).unwrap();
+        let total: f64 = y.values().iter().sum();
+        let expect: f64 = t.values().iter().sum();
+        assert!((total - expect).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ttv_rejects_bad_args() {
+        assert!(ttv(&t3(), &[1.0; 4], 3).is_err());
+        assert!(ttv(&t3(), &[1.0; 3], 2).is_err());
+        let order1 = CooTensor::from_entries(vec![4], vec![(vec![1], 1.0)]).unwrap();
+        assert!(ttv(&order1, &[1.0; 4], 0).is_err());
+    }
+
+    #[test]
+    fn ttm_with_identity_is_noop() {
+        let t = RandomTensor::new(vec![4, 5, 6]).nnz(30).seed(2).build();
+        let id = DenseMatrix::identity(5);
+        let mut y = ttm(&t, &id, 1).unwrap();
+        let mut expect = t.clone();
+        y.sort_lexicographic();
+        expect.sort_lexicographic();
+        assert_eq!(y, expect);
+    }
+
+    #[test]
+    fn ttm_changes_mode_extent_and_sums() {
+        // M: 2×4 collapsing mode 2 into two aggregates.
+        let m = DenseMatrix::from_rows(&[&[1.0, 1.0, 0.0, 0.0], &[0.0, 0.0, 1.0, 1.0]]);
+        let y = ttm(&t3(), &m, 2).unwrap();
+        assert_eq!(y.shape(), &[2, 3, 2]);
+        let dense = y.to_dense();
+        // X(0,0,0)=1 → j=0; X(0,2,1)=2 → j=0; X(1,2,3)=3 → j=1.
+        assert_eq!(dense[y.linear_index(&[0, 0, 0])], 1.0);
+        assert_eq!(dense[y.linear_index(&[0, 2, 0])], 2.0);
+        assert_eq!(dense[y.linear_index(&[1, 2, 1])], 3.0);
+    }
+
+    #[test]
+    fn ttm_ttv_consistency() {
+        // TTM with a 1×I matrix ≡ TTV reshaped.
+        let t = RandomTensor::new(vec![4, 5, 6]).nnz(40).seed(3).build();
+        let v: Vec<f64> = (0..5).map(|i| i as f64 + 0.5).collect();
+        let m = DenseMatrix::from_vec(1, 5, v.clone());
+        let y_ttm = ttm(&t, &m, 1).unwrap();
+        let y_ttv = ttv(&t, &v, 1).unwrap();
+        // Values per (i, k) must agree.
+        let d1 = y_ttm.to_dense();
+        let d2 = y_ttv.to_dense();
+        for i in 0..4u32 {
+            for k in 0..6u32 {
+                let a = d1[y_ttm.linear_index(&[i, 0, k])];
+                let b = d2[y_ttv.linear_index(&[i, k])];
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn inner_product_and_norm_consistency() {
+        let t = RandomTensor::new(vec![6, 6, 6]).nnz(50).seed(4).build();
+        let self_inner = inner(&t, &t).unwrap();
+        assert!((self_inner - t.norm_squared()).abs() < 1e-10);
+        let disjoint = CooTensor::from_entries(vec![6, 6, 6], vec![(vec![5, 5, 5], 9.0)]).unwrap();
+        // Unless (5,5,5) is in t, inner is 9·t(5,5,5).
+        let expect = 9.0
+            * t.iter()
+                .filter(|(c, _)| *c == [5, 5, 5])
+                .map(|(_, v)| v)
+                .sum::<f64>();
+        assert!((inner(&t, &disjoint).unwrap() - expect).abs() < 1e-12);
+        assert!(inner(&t, &CooTensor::new(vec![2, 2])).is_err());
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let t = t3();
+        let doubled = scale(&t, 2.0);
+        let summed = add(&t, &t).unwrap();
+        let mut a = doubled.clone();
+        let mut b = summed.clone();
+        a.sort_lexicographic();
+        b.sort_lexicographic();
+        assert_eq!(a, b);
+        // X + (−X) = structural zeros only.
+        let zero = add(&t, &scale(&t, -1.0)).unwrap();
+        assert!(zero.values().iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,192 @@
+//! Subtensor extraction: fixing modes and restricting index ranges.
+//!
+//! Tensor-mining workflows constantly carve tensors up — one time slice,
+//! one user's activity, a window of weeks. These helpers produce new COO
+//! tensors; indices of restricted modes are re-based to start at 0.
+
+use crate::{CooTensor, Result, TensorError};
+use std::ops::Range;
+
+/// Fixes `mode` at `index`, producing the order `N−1` slice
+/// `Y(…) = X(…, index, …)`.
+pub fn fix_mode(t: &CooTensor, mode: usize, index: u32) -> Result<CooTensor> {
+    if mode >= t.order() {
+        return Err(TensorError::ShapeMismatch(format!(
+            "mode {mode} out of range for order-{}",
+            t.order()
+        )));
+    }
+    if t.order() < 2 {
+        return Err(TensorError::ShapeMismatch(
+            "fixing a mode needs order ≥ 2".into(),
+        ));
+    }
+    if index >= t.shape()[mode] {
+        return Err(TensorError::IndexOutOfBounds {
+            mode,
+            index,
+            extent: t.shape()[mode],
+        });
+    }
+    let out_shape: Vec<u32> = t
+        .shape()
+        .iter()
+        .enumerate()
+        .filter(|&(m, _)| m != mode)
+        .map(|(_, &s)| s)
+        .collect();
+    let mut out = CooTensor::new(out_shape);
+    let mut coord = Vec::with_capacity(t.order() - 1);
+    for (c, v) in t.iter() {
+        if c[mode] != index {
+            continue;
+        }
+        coord.clear();
+        coord.extend(
+            c.iter()
+                .enumerate()
+                .filter(|&(m, _)| m != mode)
+                .map(|(_, &i)| i),
+        );
+        out.push(&coord, v)?;
+    }
+    Ok(out)
+}
+
+/// Restricts `mode` to `range`, keeping the tensor order; kept indices are
+/// re-based so the new mode starts at 0 (useful for time windows).
+pub fn range_slice(t: &CooTensor, mode: usize, range: Range<u32>) -> Result<CooTensor> {
+    if mode >= t.order() {
+        return Err(TensorError::ShapeMismatch(format!(
+            "mode {mode} out of range for order-{}",
+            t.order()
+        )));
+    }
+    if range.start >= range.end || range.end > t.shape()[mode] {
+        return Err(TensorError::ShapeMismatch(format!(
+            "range {range:?} invalid for mode extent {}",
+            t.shape()[mode]
+        )));
+    }
+    let mut out_shape = t.shape().to_vec();
+    out_shape[mode] = range.end - range.start;
+    let mut out = CooTensor::new(out_shape);
+    let mut coord = vec![0u32; t.order()];
+    for (c, v) in t.iter() {
+        if !range.contains(&c[mode]) {
+            continue;
+        }
+        coord.copy_from_slice(c);
+        coord[mode] -= range.start;
+        out.push(&coord, v)?;
+    }
+    Ok(out)
+}
+
+/// Keeps only nonzeros whose `mode` index satisfies `keep`; the mode
+/// extent is unchanged (a masking filter, not a re-basing).
+pub fn filter_mode(
+    t: &CooTensor,
+    mode: usize,
+    keep: impl Fn(u32) -> bool,
+) -> Result<CooTensor> {
+    if mode >= t.order() {
+        return Err(TensorError::ShapeMismatch(format!(
+            "mode {mode} out of range for order-{}",
+            t.order()
+        )));
+    }
+    let mut out = CooTensor::new(t.shape().to_vec());
+    for (c, v) in t.iter() {
+        if keep(c[mode]) {
+            out.push(c, v)?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::RandomTensor;
+
+    fn t() -> CooTensor {
+        CooTensor::from_entries(
+            vec![3, 4, 5],
+            vec![
+                (vec![0, 1, 2], 1.0),
+                (vec![1, 1, 2], 2.0),
+                (vec![1, 3, 4], 3.0),
+                (vec![2, 0, 2], 4.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fix_mode_extracts_slice() {
+        let s = fix_mode(&t(), 2, 2).unwrap();
+        assert_eq!(s.shape(), &[3, 4]);
+        assert_eq!(s.nnz(), 3);
+        let d = s.to_dense();
+        assert_eq!(d[s.linear_index(&[0, 1])], 1.0);
+        assert_eq!(d[s.linear_index(&[1, 1])], 2.0);
+        assert_eq!(d[s.linear_index(&[2, 0])], 4.0);
+        let empty = fix_mode(&t(), 2, 0).unwrap();
+        assert_eq!(empty.nnz(), 0);
+    }
+
+    #[test]
+    fn fix_mode_slices_partition_the_tensor() {
+        let x = RandomTensor::new(vec![6, 5, 7]).nnz(80).seed(3).build();
+        let total: usize = (0..7).map(|k| fix_mode(&x, 2, k).unwrap().nnz()).sum();
+        assert_eq!(total, x.nnz());
+    }
+
+    #[test]
+    fn fix_mode_rejects_bad_args() {
+        assert!(fix_mode(&t(), 3, 0).is_err());
+        assert!(fix_mode(&t(), 2, 5).is_err());
+        let matrix = CooTensor::from_entries(vec![4], vec![(vec![1], 1.0)]).unwrap();
+        assert!(fix_mode(&matrix, 0, 1).is_err());
+    }
+
+    #[test]
+    fn range_slice_rebases_indices() {
+        let s = range_slice(&t(), 2, 2..5).unwrap();
+        assert_eq!(s.shape(), &[3, 4, 3]);
+        assert_eq!(s.nnz(), 4);
+        // Old k=2 → new k=0; old k=4 → new k=2.
+        let coords: Vec<Vec<u32>> = s.iter().map(|(c, _)| c.to_vec()).collect();
+        assert!(coords.contains(&vec![0, 1, 0]));
+        assert!(coords.contains(&vec![1, 3, 2]));
+    }
+
+    #[test]
+    fn range_slice_validates() {
+        assert!(range_slice(&t(), 2, 3..3).is_err());
+        assert!(range_slice(&t(), 2, 2..9).is_err());
+        assert!(range_slice(&t(), 9, 0..1).is_err());
+    }
+
+    #[test]
+    fn filter_mode_masks_without_rebasing() {
+        let f = filter_mode(&t(), 0, |i| i == 1).unwrap();
+        assert_eq!(f.shape(), t().shape());
+        assert_eq!(f.nnz(), 2);
+        assert!(f.iter().all(|(c, _)| c[0] == 1));
+    }
+
+    #[test]
+    fn window_then_fix_composes() {
+        let x = RandomTensor::new(vec![8, 8, 10]).nnz(100).seed(4).build();
+        let window = range_slice(&x, 2, 5..10).unwrap();
+        let slice = fix_mode(&window, 2, 0).unwrap(); // old index 5
+        let direct = fix_mode(&x, 2, 5).unwrap();
+        let mut a = slice.clone();
+        let mut b = direct.clone();
+        a.sort_lexicographic();
+        b.sort_lexicographic();
+        assert_eq!(a, b);
+    }
+}

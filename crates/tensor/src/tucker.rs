@@ -1,0 +1,276 @@
+//! Tucker decomposition via HOSVD.
+//!
+//! HaTen2 — one of the MapReduce systems the paper positions CSTF against
+//! — "supports two commonly used tensor factorization algorithms …
+//! PARAFAC and Tucker" (paper §3). CP is CSTF's subject; this module adds
+//! the Tucker side for library completeness: a higher-order SVD
+//! (orthonormal factor per mode + a small dense core) computed locally.
+//!
+//! Scope: the mode gram `X₍ₙ₎X₍ₙ₎ᵀ` is `Iₙ × Iₙ` and eigendecomposed with
+//! Jacobi, so this is intended for small-to-medium mode sizes (≲ a few
+//! thousand) — analysis-scale tensors, not the 17M-mode FROSTT monsters.
+
+use crate::linalg::jacobi_eigen;
+use crate::matricize::{unfold_column, unfold_strides};
+use crate::{CooTensor, DenseMatrix, Result, TensorError};
+use std::collections::HashMap;
+
+/// A Tucker decomposition: `X ≈ G ×₁ U₁ ×₂ U₂ ⋯ ×_N U_N` with orthonormal
+/// `Uₙ: Iₙ × rₙ` and dense core `G: r₁ × ⋯ × r_N` (row-major, last mode
+/// fastest).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuckerTensor {
+    /// Core tensor, dense row-major.
+    pub core: Vec<f64>,
+    /// Core shape `(r₁, …, r_N)`.
+    pub core_shape: Vec<usize>,
+    /// Orthonormal factor matrices, `factors[m]: Iₘ × rₘ`.
+    pub factors: Vec<DenseMatrix>,
+}
+
+impl TuckerTensor {
+    /// Original tensor shape.
+    pub fn shape(&self) -> Vec<u32> {
+        self.factors.iter().map(|f| f.rows() as u32).collect()
+    }
+
+    /// Value of the reconstruction at `coord`:
+    /// `Σ_g G(g) Π_m Uₘ(iₘ, gₘ)`.
+    pub fn eval(&self, coord: &[u32]) -> f64 {
+        debug_assert_eq!(coord.len(), self.factors.len());
+        let order = self.core_shape.len();
+        let mut total = 0.0;
+        let mut g = vec![0usize; order];
+        for &core_val in &self.core {
+            if core_val != 0.0 {
+                let mut prod = core_val;
+                for m in 0..order {
+                    prod *= self.factors[m].get(coord[m] as usize, g[m]);
+                }
+                total += prod;
+            }
+            // Odometer over the core, last mode fastest.
+            for d in (0..order).rev() {
+                g[d] += 1;
+                if g[d] < self.core_shape[d] {
+                    break;
+                }
+                g[d] = 0;
+            }
+        }
+        total
+    }
+
+    /// Squared Frobenius norm of the reconstruction. Equals `‖G‖²`
+    /// because the factors are orthonormal.
+    pub fn norm_squared(&self) -> f64 {
+        self.core.iter().map(|v| v * v).sum()
+    }
+
+    /// Tucker fit against `x`: `1 − ‖X − X̂‖/‖X‖` over the stored
+    /// nonzeros (same convention as [`crate::KruskalTensor::fit`]).
+    pub fn fit(&self, x: &CooTensor) -> Result<f64> {
+        if x.shape() != self.shape().as_slice() {
+            return Err(TensorError::ShapeMismatch(format!(
+                "tensor {:?} vs Tucker {:?}",
+                x.shape(),
+                self.shape()
+            )));
+        }
+        let xnorm2 = x.norm_squared();
+        if xnorm2 == 0.0 {
+            return Err(TensorError::ShapeMismatch(
+                "fit undefined against all-zero tensor".into(),
+            ));
+        }
+        let inner: f64 = x.iter().map(|(c, v)| v * self.eval(c)).sum();
+        let resid2 = (xnorm2 - 2.0 * inner + self.norm_squared()).max(0.0);
+        Ok(1.0 - resid2.sqrt() / xnorm2.sqrt())
+    }
+
+    /// Compression ratio: stored parameters of the decomposition relative
+    /// to the tensor's nonzeros.
+    pub fn parameter_count(&self) -> usize {
+        self.core.len()
+            + self
+                .factors
+                .iter()
+                .map(|f| f.rows() * f.cols())
+                .sum::<usize>()
+    }
+}
+
+/// Mode-`n` gram `X₍ₙ₎ X₍ₙ₎ᵀ` of a sparse tensor, built by grouping
+/// nonzeros that share an unfolded column.
+fn mode_gram(t: &CooTensor, mode: usize) -> DenseMatrix {
+    let strides = unfold_strides(t.shape(), mode);
+    let mut by_col: HashMap<u64, Vec<(u32, f64)>> = HashMap::new();
+    for (c, v) in t.iter() {
+        by_col
+            .entry(unfold_column(c, &strides))
+            .or_default()
+            .push((c[mode], v));
+    }
+    let n = t.shape()[mode] as usize;
+    let mut g = DenseMatrix::zeros(n, n);
+    for fiber in by_col.values() {
+        for &(i, x) in fiber {
+            for &(j, y) in fiber {
+                let cur = g.get(i as usize, j as usize);
+                g.set(i as usize, j as usize, cur + x * y);
+            }
+        }
+    }
+    g
+}
+
+/// Higher-order SVD: factor `Uₙ` = the `ranks[n]` leading eigenvectors of
+/// the mode-`n` gram; core = `X ×₁ U₁ᵀ ⋯ ×_N U_Nᵀ`.
+pub fn hosvd(t: &CooTensor, ranks: &[usize]) -> Result<TuckerTensor> {
+    let order = t.order();
+    if ranks.len() != order {
+        return Err(TensorError::ShapeMismatch(format!(
+            "{} ranks for order-{order} tensor",
+            ranks.len()
+        )));
+    }
+    for (m, &r) in ranks.iter().enumerate() {
+        if r == 0 || r > t.shape()[m] as usize {
+            return Err(TensorError::ShapeMismatch(format!(
+                "rank {r} invalid for mode {m} (extent {})",
+                t.shape()[m]
+            )));
+        }
+    }
+    if t.is_empty() {
+        return Err(TensorError::ShapeMismatch(
+            "HOSVD of an empty tensor".into(),
+        ));
+    }
+
+    // Leading eigenvectors per mode.
+    let mut factors = Vec::with_capacity(order);
+    for (mode, &r) in ranks.iter().enumerate() {
+        let gram = mode_gram(t, mode);
+        let (_vals, vecs) = jacobi_eigen(&gram)?;
+        let n = t.shape()[mode] as usize;
+        let mut u = DenseMatrix::zeros(n, r);
+        for col in 0..r {
+            for row in 0..n {
+                u.set(row, col, vecs.get(row, col));
+            }
+        }
+        factors.push(u);
+    }
+
+    // Core: project every nonzero onto the factor bases and accumulate
+    // into the dense core (equivalent to successive TTMs with Uᵀ, fused).
+    let core_shape: Vec<usize> = ranks.to_vec();
+    let core_len: usize = core_shape.iter().product();
+    let mut core = vec![0.0f64; core_len];
+    let mut g = vec![0usize; order];
+    for (coord, v) in t.iter() {
+        g.iter_mut().for_each(|x| *x = 0);
+        for slot in 0..core_len {
+            let mut contrib = v;
+            for m in 0..order {
+                contrib *= factors[m].get(coord[m] as usize, g[m]);
+            }
+            core[slot] += contrib;
+            for d in (0..order).rev() {
+                g[d] += 1;
+                if g[d] < core_shape[d] {
+                    break;
+                }
+                g[d] = 0;
+            }
+        }
+    }
+
+    Ok(TuckerTensor {
+        core,
+        core_shape,
+        factors,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::RandomTensor;
+
+    #[test]
+    fn factors_are_orthonormal() {
+        let t = RandomTensor::new(vec![10, 9, 8]).nnz(150).seed(1).build();
+        let tk = hosvd(&t, &[3, 3, 2]).unwrap();
+        for u in &tk.factors {
+            let utu = u.transpose().matmul(u).unwrap();
+            assert!(
+                utu.max_abs_diff(&DenseMatrix::identity(u.cols())) < 1e-9,
+                "factor not orthonormal"
+            );
+        }
+        assert_eq!(tk.core_shape, vec![3, 3, 2]);
+        assert_eq!(tk.core.len(), 18);
+    }
+
+    #[test]
+    fn full_rank_hosvd_is_exact() {
+        let t = RandomTensor::new(vec![5, 4, 3]).nnz(30).seed(2).build();
+        let tk = hosvd(&t, &[5, 4, 3]).unwrap();
+        // Reconstruction matches every stored entry, and the off-entries
+        // stay zero (it's an orthogonal change of basis).
+        for (c, v) in t.iter() {
+            assert!((tk.eval(c) - v).abs() < 1e-6, "at {c:?}");
+        }
+        let fit = tk.fit(&t).unwrap();
+        assert!(fit > 1.0 - 1e-6, "fit {fit}");
+        // Norm preserved under orthonormal transforms.
+        assert!(
+            (tk.norm_squared() - t.norm_squared()).abs() < 1e-6 * t.norm_squared()
+        );
+    }
+
+    #[test]
+    fn truncation_degrades_fit_monotonically() {
+        let t = RandomTensor::new(vec![8, 8, 8]).nnz(120).seed(3).build();
+        let full = hosvd(&t, &[8, 8, 8]).unwrap().fit(&t).unwrap();
+        let mid = hosvd(&t, &[5, 5, 5]).unwrap().fit(&t).unwrap();
+        let small = hosvd(&t, &[2, 2, 2]).unwrap().fit(&t).unwrap();
+        assert!(full >= mid - 1e-7, "{full} vs {mid}");
+        assert!(mid >= small - 1e-7, "{mid} vs {small}");
+        assert!(full > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn captures_low_multilinear_rank_structure() {
+        // A rank-2 Kruskal tensor has multilinear rank ≤ (2,2,2): HOSVD
+        // at those ranks must recover it (near-)exactly.
+        let (t, _) = crate::random::sparse_low_rank_tensor(&[20, 18, 16], 2, 6, 6);
+        let tk = hosvd(&t, &[2, 2, 2]).unwrap();
+        let fit = tk.fit(&t).unwrap();
+        assert!(fit > 0.95, "low-rank structure fit {fit}");
+        // Far fewer parameters than nonzeros × order.
+        assert!(tk.parameter_count() < t.nnz() * 3);
+    }
+
+    #[test]
+    fn fourth_order_hosvd() {
+        let t = RandomTensor::new(vec![6, 5, 4, 3]).nnz(60).seed(4).build();
+        let tk = hosvd(&t, &[6, 5, 4, 3]).unwrap();
+        assert!((tk.fit(&t).unwrap() - 1.0).abs() < 1e-6);
+        let trunc = hosvd(&t, &[2, 2, 2, 2]).unwrap();
+        assert_eq!(trunc.core.len(), 16);
+        assert!(trunc.fit(&t).unwrap() <= 1.0);
+    }
+
+    #[test]
+    fn rejects_bad_ranks() {
+        let t = RandomTensor::new(vec![4, 4, 4]).nnz(10).seed(5).build();
+        assert!(hosvd(&t, &[2, 2]).is_err());
+        assert!(hosvd(&t, &[0, 2, 2]).is_err());
+        assert!(hosvd(&t, &[5, 2, 2]).is_err());
+        let empty = CooTensor::new(vec![3, 3]);
+        assert!(hosvd(&empty, &[2, 2]).is_err());
+    }
+}

@@ -1,0 +1,135 @@
+//! Rating prediction with distributed tensor completion.
+//!
+//! ```text
+//! cargo run --release -p cstf-examples --bin rating_prediction
+//! ```
+//!
+//! A (user, item, week) ratings tensor is observed only where users
+//! actually rated. Plain CP-ALS (the paper's algorithm) would treat every
+//! unrated cell as a zero rating; the completion extension
+//! (`CpCompletion`, DisTenC-style) fits only the observed entries and
+//! predicts the held-out ones. We compare both against a global-mean
+//! baseline on a test split.
+
+use cstf_core::{CpAls, CpCompletion};
+use cstf_dataflow::{Cluster, ClusterConfig};
+use cstf_tensor::CooTensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const USERS: u32 = 150;
+const ITEMS: u32 = 200;
+const WEEKS: u32 = 26;
+const RANK: usize = 4;
+
+/// Synthesizes ratings from a hidden taste model: user and item latent
+/// vectors plus a seasonal week profile, squashed into the 1–5 range.
+fn synth_ratings(seed: u64) -> CooTensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let user_taste: Vec<[f64; RANK]> =
+        (0..USERS).map(|_| std::array::from_fn(|_| rng.gen::<f64>())).collect();
+    let item_trait: Vec<[f64; RANK]> =
+        (0..ITEMS).map(|_| std::array::from_fn(|_| rng.gen::<f64>())).collect();
+    let week_mood: Vec<[f64; RANK]> = (0..WEEKS)
+        .map(|w| {
+            std::array::from_fn(|r| {
+                0.75 + 0.25 * ((w as f64 / WEEKS as f64 + r as f64 / RANK as f64)
+                    * std::f64::consts::TAU)
+                    .sin()
+            })
+        })
+        .collect();
+
+    let mut t = CooTensor::new(vec![USERS, ITEMS, WEEKS]);
+    for _ in 0..30_000 {
+        let (u, i, w) = (
+            rng.gen_range(0..USERS),
+            rng.gen_range(0..ITEMS),
+            rng.gen_range(0..WEEKS),
+        );
+        let mut score: f64 = (0..RANK)
+            .map(|r| {
+                user_taste[u as usize][r] * item_trait[i as usize][r] * week_mood[w as usize][r]
+            })
+            .sum();
+        score = 1.0 + 4.0 * (score / RANK as f64).clamp(0.0, 1.0);
+        t.push(&[u, i, w], score).unwrap();
+    }
+    t.sum_duplicates();
+    t
+}
+
+fn split(t: &CooTensor, every: usize) -> (CooTensor, CooTensor) {
+    let mut train = CooTensor::new(t.shape().to_vec());
+    let mut test = CooTensor::new(t.shape().to_vec());
+    for (z, (coord, v)) in t.iter().enumerate() {
+        if z % every == 0 {
+            test.push(coord, v).unwrap();
+        } else {
+            train.push(coord, v).unwrap();
+        }
+    }
+    (train, test)
+}
+
+fn main() {
+    let ratings = synth_ratings(17);
+    let (train, test) = split(&ratings, 10);
+    println!(
+        "ratings tensor: {USERS} users × {ITEMS} items × {WEEKS} weeks; \
+         {} train / {} test observations ({:.2}% observed)",
+        train.nnz(),
+        test.nnz(),
+        100.0 * ratings.density()
+    );
+
+    // Baseline: predict the global mean rating.
+    let mean: f64 = train.values().iter().sum::<f64>() / train.nnz() as f64;
+    let mean_rmse = (test
+        .iter()
+        .map(|(_, v)| (v - mean) * (v - mean))
+        .sum::<f64>()
+        / test.nnz() as f64)
+        .sqrt();
+
+    let cluster = Cluster::new(ClusterConfig::auto().nodes(8));
+    let completion = CpCompletion::new(RANK)
+        .max_iterations(15)
+        .regularization(0.05)
+        .tolerance(1e-5)
+        .seed(3)
+        .run(&cluster, &train)
+        .expect("completion failed");
+    let completion_rmse = completion.rmse_on(&test);
+
+    // Plain CP-ALS (zeros treated as real) for contrast.
+    let cp = CpAls::new(RANK)
+        .max_iterations(15)
+        .seed(3)
+        .run(&Cluster::new(ClusterConfig::auto().nodes(8)), &train)
+        .expect("cp failed");
+    let cp_rmse = (test
+        .iter()
+        .map(|(c, v)| {
+            let e = v - cp.kruskal.eval(c);
+            e * e
+        })
+        .sum::<f64>()
+        / test.nnz() as f64)
+        .sqrt();
+
+    println!("\nheld-out RMSE (ratings on a 1–5 scale):");
+    println!("  global mean baseline : {mean_rmse:.3}");
+    println!("  plain CP-ALS         : {cp_rmse:.3}   (treats unrated cells as 0)");
+    println!(
+        "  CP completion        : {completion_rmse:.3}   ({} sweeps, train RMSE {:.3})",
+        completion.iterations, completion.final_rmse
+    );
+
+    // A few sample predictions.
+    println!("\nsample predictions (user 3):");
+    for item in [5u32, 50, 150] {
+        let p = completion.predict(&[3, item, 10]).clamp(1.0, 5.0);
+        println!("  item {item:>3}, week 10 → predicted rating {p:.2}");
+    }
+}

@@ -1,0 +1,23 @@
+//! Cross-crate integration tests for the CSTF workspace.
+//!
+//! The actual tests live in `tests/` next to this file; this library only
+//! hosts shared fixtures.
+
+use cstf_dataflow::{Cluster, ClusterConfig};
+use cstf_tensor::DenseMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A small simulated cluster shared by the integration tests.
+pub fn test_cluster(nodes: usize) -> Cluster {
+    Cluster::new(ClusterConfig::local(4).nodes(nodes))
+}
+
+/// Seeded random factor matrices for a tensor shape.
+pub fn random_factors(shape: &[u32], rank: usize, seed: u64) -> Vec<DenseMatrix> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    shape
+        .iter()
+        .map(|&s| DenseMatrix::random(s as usize, rank, &mut rng))
+        .collect()
+}
