@@ -8,7 +8,10 @@ use cstf_tensor::random::RandomTensor;
 use cstf_tensor::CooTensor;
 
 fn tensor() -> CooTensor {
-    RandomTensor::new(vec![300, 250, 200]).nnz(20_000).seed(3).build()
+    RandomTensor::new(vec![300, 250, 200])
+        .nnz(20_000)
+        .seed(3)
+        .build()
 }
 
 fn bench_cp_iteration(c: &mut Criterion) {

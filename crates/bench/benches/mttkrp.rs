@@ -18,7 +18,10 @@ use rand::SeedableRng;
 const RANK: usize = 8;
 
 fn tensor(nnz: usize) -> CooTensor {
-    RandomTensor::new(vec![500, 400, 300]).nnz(nnz).seed(7).build()
+    RandomTensor::new(vec![500, 400, 300])
+        .nnz(nnz)
+        .seed(7)
+        .build()
 }
 
 fn factors(t: &CooTensor, seed: u64) -> Vec<DenseMatrix> {
@@ -78,9 +81,7 @@ fn bench_distributed(c: &mut Criterion) {
     let cluster = Cluster::new(ClusterConfig::auto().nodes(4));
     let rdd = tensor_to_rdd(&cluster, &t, 16).persist_now();
     group.bench_function("cstf_coo", |b| {
-        b.iter(|| {
-            mttkrp_coo(&cluster, &rdd, &f, t.shape(), 0, &MttkrpOptions::default()).unwrap()
-        })
+        b.iter(|| mttkrp_coo(&cluster, &rdd, &f, t.shape(), 0, &MttkrpOptions::default()).unwrap())
     });
 
     group.bench_function("cstf_qcoo_step", |b| {

@@ -56,7 +56,10 @@ fn bench_partition_by(c: &mut Criterion) {
     group.bench_function("repartition", |b| {
         b.iter(|| {
             let cluster = Cluster::new(ClusterConfig::auto().nodes(8));
-            cluster.parallelize(data.clone(), 8).partition_by(32).count()
+            cluster
+                .parallelize(data.clone(), 8)
+                .partition_by(32)
+                .count()
         })
     });
     group.finish();

@@ -56,7 +56,11 @@ fn main() {
         ]);
     }
     print_table(
-        &["tensor RDD", "pipeline records computed", "modeled time/iter"],
+        &[
+            "tensor RDD",
+            "pipeline records computed",
+            "modeled time/iter",
+        ],
         &rows,
     );
     write_csv(

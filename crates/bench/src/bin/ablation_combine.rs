@@ -89,7 +89,13 @@ fn main() {
         );
         write_csv(
             &format!("ablation_combine_{}", spec.name),
-            &["mode", "distinct", "plain_bytes", "combined_bytes", "reduction"],
+            &[
+                "mode",
+                "distinct",
+                "plain_bytes",
+                "combined_bytes",
+                "reduction",
+            ],
             &rows,
         );
     }

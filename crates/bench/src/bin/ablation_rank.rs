@@ -66,7 +66,13 @@ fn main() {
             ]);
         }
         print_table(
-            &["R", "COO bytes", "QCOO bytes", "measured saving", "paper model"],
+            &[
+                "R",
+                "COO bytes",
+                "QCOO bytes",
+                "measured saving",
+                "paper model",
+            ],
             &rows,
         );
         write_csv(

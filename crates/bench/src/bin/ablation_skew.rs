@@ -38,9 +38,7 @@ fn main() {
         };
 
         // CSTF's base layout: contiguous nonzero chunks.
-        let nonzero_sizes: Vec<usize> = rdd
-            .map_partitions(|_, d| vec![d.len()])
-            .collect();
+        let nonzero_sizes: Vec<usize> = rdd.map_partitions(|_, d| vec![d.len()]).collect();
         let (nz_ratio, _) = imbalance(nonzero_sizes);
 
         // Mode-keyed layout for every mode (what a per-mode hash shuffle
@@ -52,11 +50,7 @@ fn main() {
                 .map_partitions(|_, d| vec![d.len()])
                 .collect();
             let (key_ratio, key_max) = imbalance(keyed_sizes);
-            let hub = tensor
-                .mode_histogram(mode)
-                .into_iter()
-                .max()
-                .unwrap_or(0);
+            let hub = tensor.mode_histogram(mode).into_iter().max().unwrap_or(0);
             rows.push(vec![
                 spec.name.to_string(),
                 format!("mode {}", mode + 1),
@@ -90,7 +84,15 @@ fn main() {
     );
     write_csv(
         "ablation_skew",
-        &["dataset", "mode", "distinct", "hub_nnz", "nonzero_ratio", "keyed_ratio", "keyed_max"],
+        &[
+            "dataset",
+            "mode",
+            "distinct",
+            "hub_nnz",
+            "nonzero_ratio",
+            "keyed_ratio",
+            "keyed_max",
+        ],
         &rows,
     );
 }

@@ -46,7 +46,10 @@ fn main() {
             let secs = per_iteration_secs_amortized(&spark, &m, iters);
             rows.push(vec![
                 strategy.to_string(),
-                format!("{}", m.significant_shuffle_count(tensor.nnz() as u64 / 2) / iters),
+                format!(
+                    "{}",
+                    m.significant_shuffle_count(tensor.nnz() as u64 / 2) / iters
+                ),
                 format!("{:.2} MB", shuffle_bytes as f64 / 1e6),
                 format!("{:.2} MB", broadcast as f64 / 1e6),
                 format!("{secs:.1} s"),
@@ -64,7 +67,13 @@ fn main() {
         );
         write_csv(
             &format!("ablation_strategies_{}", spec.name),
-            &["strategy", "shuffles", "shuffle_bytes", "broadcast_bytes", "secs"],
+            &[
+                "strategy",
+                "shuffles",
+                "shuffle_bytes",
+                "broadcast_bytes",
+                "secs",
+            ],
             &rows,
         );
     }

@@ -83,7 +83,15 @@ fn main() {
         );
         write_csv(
             &format!("fig2_{}", spec.name),
-            &["nodes", "coo_s", "qcoo_s", "bigtensor_s", "coo_speedup", "qcoo_speedup", "qcoo_vs_coo"],
+            &[
+                "nodes",
+                "coo_s",
+                "qcoo_s",
+                "bigtensor_s",
+                "coo_speedup",
+                "qcoo_speedup",
+                "qcoo_vs_coo",
+            ],
             &rows,
         );
     }

@@ -94,7 +94,13 @@ fn main() {
     }
     write_csv(
         "fig4_comm",
-        &["dataset", "strategy", "scope", "remote_bytes_per_iter", "local_bytes_per_iter"],
+        &[
+            "dataset",
+            "strategy",
+            "scope",
+            "remote_bytes_per_iter",
+            "local_bytes_per_iter",
+        ],
         &csv,
     );
 }

@@ -35,8 +35,7 @@ fn main() {
     };
 
     for name in names {
-        let spec = DatasetSpec::by_name(name)
-            .unwrap_or_else(|| panic!("unknown dataset {name:?}"));
+        let spec = DatasetSpec::by_name(name).unwrap_or_else(|| panic!("unknown dataset {name:?}"));
         let tensor = spec.generate(scale, seed);
         println!(
             "\n=== Figure 5: per-mode MTTKRP on {} @ 1/{scale:.0} (nnz {}), {} nodes ===",
@@ -101,12 +100,17 @@ fn main() {
             ]);
         }
         print_table(
-            &["", "COO (s)", "QCOO (s)", "BIGtensor (s)", "COO speedup", "QCOO speedup"],
+            &[
+                "",
+                "COO (s)",
+                "QCOO (s)",
+                "BIGtensor (s)",
+                "COO speedup",
+                "QCOO speedup",
+            ],
             &rows,
         );
-        println!(
-            "(QCOO mode-1 includes the queue-initialization overhead, as in the paper)"
-        );
+        println!("(QCOO mode-1 includes the queue-initialization overhead, as in the paper)");
         write_csv(
             &format!("fig5_{}", spec.name),
             &["dataset", "mode", "coo_s", "qcoo_s", "bigtensor_s"],

@@ -42,7 +42,8 @@ fn main() {
         let qcoo_bytes = mttkrp_bytes(&m_qcoo);
         let measured_saving = 1.0 - qcoo_bytes as f64 / coo_bytes as f64;
 
-        let coo_model = iteration_communication(Algorithm::CstfCoo, order, nnz as u64, PAPER_RANK as u64);
+        let coo_model =
+            iteration_communication(Algorithm::CstfCoo, order, nnz as u64, PAPER_RANK as u64);
         let qcoo_model =
             iteration_communication(Algorithm::CstfQcoo, order, nnz as u64, PAPER_RANK as u64);
 
@@ -72,7 +73,15 @@ fn main() {
     println!("\nPaper §5: up to 33% / 25% / 20% for orders 3 / 4 / 5.");
     write_csv(
         "order_sweep",
-        &["order", "coo_model", "qcoo_model", "saving_model", "coo_bytes", "qcoo_bytes", "saving_measured"],
+        &[
+            "order",
+            "coo_model",
+            "qcoo_model",
+            "saving_model",
+            "coo_bytes",
+            "qcoo_bytes",
+            "saving_measured",
+        ],
         &rows,
     );
 }

@@ -37,7 +37,13 @@ fn print_stages(title: &str, metrics: &JobMetrics) {
     }
     print_table(
         &[
-            "stage", "kind", "name", "tasks", "records", "shfl w recs", "shfl w bytes",
+            "stage",
+            "kind",
+            "name",
+            "tasks",
+            "records",
+            "shfl w recs",
+            "shfl w bytes",
             "shfl r bytes",
         ],
         &rows,
@@ -70,8 +76,15 @@ fn main() {
         let c = Cluster::new(ClusterConfig::local(4).nodes(4).default_parallelism(8));
         let rdd = tensor_to_rdd(&c, &tensor, 8).persist_now();
         c.metrics().reset();
-        let _ = mttkrp_coo(&c, &rdd, &factors, tensor.shape(), 0, &MttkrpOptions::default())
-            .unwrap();
+        let _ = mttkrp_coo(
+            &c,
+            &rdd,
+            &factors,
+            tensor.shape(),
+            0,
+            &MttkrpOptions::default(),
+        )
+        .unwrap();
         print_stages("CSTF-COO (Table 2, middle column)", &c.metrics().snapshot());
     }
 

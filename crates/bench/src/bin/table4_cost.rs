@@ -55,8 +55,15 @@ fn main() {
         let c = Cluster::new(ClusterConfig::auto().nodes(8));
         let rdd = tensor_to_rdd(&c, &tensor, 32).persist_now();
         c.metrics().reset();
-        let _ = mttkrp_coo(&c, &rdd, &factors, tensor.shape(), 0, &MttkrpOptions::default())
-            .expect("COO MTTKRP");
+        let _ = mttkrp_coo(
+            &c,
+            &rdd,
+            &factors,
+            tensor.shape(),
+            0,
+            &MttkrpOptions::default(),
+        )
+        .expect("COO MTTKRP");
         let m = c.metrics().snapshot();
         measured.push((
             m.significant_shuffle_count(nnz / 2),
@@ -70,8 +77,8 @@ fn main() {
     {
         let c = Cluster::new(ClusterConfig::auto().nodes(8));
         let rdd = tensor_to_rdd(&c, &tensor, 32).persist_now();
-        let mut q = QcooState::init(&c, &rdd, &factors, tensor.shape(), rank, 32)
-            .expect("QCOO init");
+        let mut q =
+            QcooState::init(&c, &rdd, &factors, tensor.shape(), rank, 32).expect("QCOO init");
         c.metrics().reset();
         let _ = q.step(&factors[2]).expect("QCOO step");
         let m = c.metrics().snapshot();
@@ -88,15 +95,8 @@ fn main() {
         let c = Cluster::new(ClusterConfig::auto().nodes(8));
         let rdd = tensor_to_rdd(&c, &tensor, 32);
         c.metrics().reset();
-        let _ = cstf_core::bigtensor::bigtensor_mttkrp(
-            &c,
-            &rdd,
-            &factors,
-            tensor.shape(),
-            0,
-            32,
-        )
-        .expect("BIGtensor MTTKRP");
+        let _ = cstf_core::bigtensor::bigtensor_mttkrp(&c, &rdd, &factors, tensor.shape(), 0, 32)
+            .expect("BIGtensor MTTKRP");
         let m = c.metrics().snapshot();
         measured.push((m.significant_shuffle_count(nnz / 2), 0));
     }
@@ -111,7 +111,10 @@ fn main() {
         let carried_elems = if state_bytes > 0 {
             // Subtract the per-record fixed overhead (key + coord + value
             // ≈ 28-32 bytes) to isolate the carried row payload.
-            format!("{:.1}·nnz·R", state_bytes as f64 / (nnz * rank as u64 * 8) as f64)
+            format!(
+                "{:.1}·nnz·R",
+                state_bytes as f64 / (nnz * rank as u64 * 8) as f64
+            )
         } else {
             "(matricized)".to_string()
         };
@@ -135,13 +138,17 @@ fn main() {
         ],
         &rows,
     );
-    println!(
-        "\nPaper Table 4 (3rd order): BIGtensor 5nnzR / max(J+nnz,K+nnz) / 4 shuffles;"
-    );
+    println!("\nPaper Table 4 (3rd order): BIGtensor 5nnzR / max(J+nnz,K+nnz) / 4 shuffles;");
     println!("CSTF-COO 3nnzR / nnzR / 3;  CSTF-QCOO 3nnzR / 2nnzR / 2.");
     write_csv(
         "table4_cost",
-        &["algorithm", "flops_model", "intermediate_model", "shuffles_model", "shuffles_measured"],
+        &[
+            "algorithm",
+            "flops_model",
+            "intermediate_model",
+            "shuffles_model",
+            "shuffles_measured",
+        ],
         &rows.iter().map(|r| r[..5].to_vec()).collect::<Vec<_>>(),
     );
 }

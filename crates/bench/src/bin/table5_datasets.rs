@@ -19,12 +19,18 @@ fn main() {
         rows.push(vec![
             spec.name.to_string(),
             spec.order().to_string(),
-            format!("{:.1}M", *spec.full_shape.iter().max().unwrap() as f64 / 1e6),
+            format!(
+                "{:.1}M",
+                *spec.full_shape.iter().max().unwrap() as f64 / 1e6
+            ),
             format!("{:.0}M", spec.full_nnz as f64 / 1e6),
             format!("{:.1e}", spec.full_density()),
         ]);
     }
-    print_table(&["Dataset", "Order", "Max mode size", "nnz", "Density"], &rows);
+    print_table(
+        &["Dataset", "Order", "Max mode size", "nnz", "Density"],
+        &rows,
+    );
 
     println!("\nGenerated stand-ins @ 1/{scale:.0} (what the experiments run):\n");
     let mut rows = Vec::new();
@@ -48,7 +54,14 @@ fn main() {
         ]);
     }
     print_table(
-        &["Dataset", "Order", "Max mode size", "nnz", "Density", "Index skew"],
+        &[
+            "Dataset",
+            "Order",
+            "Max mode size",
+            "nnz",
+            "Density",
+            "Index skew",
+        ],
         &rows,
     );
     write_csv(

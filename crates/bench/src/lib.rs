@@ -40,11 +40,11 @@ pub struct Args {
 impl Args {
     /// Parses the process arguments.
     pub fn from_env() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::parse_from(std::env::args().skip(1))
     }
 
     /// Parses an explicit argument list (for tests).
-    pub fn from_iter<I: IntoIterator<Item = String>>(args: I) -> Self {
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
         let mut values = BTreeMap::new();
         let mut it = args.into_iter().peekable();
         while let Some(arg) = it.next() {
@@ -61,7 +61,10 @@ impl Args {
 
     /// String argument with default.
     pub fn get(&self, key: &str, default: &str) -> String {
-        self.values.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.values
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// Parsed argument with default.
@@ -169,11 +172,7 @@ pub fn per_iteration_secs(model: &TimeModel, metrics: &JobMetrics, iters: usize)
 /// "Other" costs (tensor distribution, queue initialization) divide by
 /// [`PAPER_ITERATIONS`], reproducing the amortization of averaging a
 /// 20-iteration run without having to execute all 20.
-pub fn per_iteration_secs_amortized(
-    model: &TimeModel,
-    metrics: &JobMetrics,
-    iters: usize,
-) -> f64 {
+pub fn per_iteration_secs_amortized(model: &TimeModel, metrics: &JobMetrics, iters: usize) -> f64 {
     let iters = iters.max(1) as f64;
     model
         .scope_times(metrics)
@@ -204,7 +203,7 @@ mod tests {
 
     #[test]
     fn args_parse_pairs_and_flags() {
-        let a = Args::from_iter(
+        let a = Args::parse_from(
             ["--dataset", "nell1", "--scale", "100", "--verbose"]
                 .iter()
                 .map(|s| s.to_string()),
@@ -219,7 +218,7 @@ mod tests {
 
     #[test]
     fn args_bad_parse_falls_back() {
-        let a = Args::from_iter(["--scale", "abc"].iter().map(|s| s.to_string()));
+        let a = Args::parse_from(["--scale", "abc"].iter().map(|s| s.to_string()));
         assert_eq!(a.parse("scale", 5u32), 5);
     }
 

@@ -26,7 +26,7 @@
 //!
 //! Evaluate the recorded log with [`cstf_dataflow::sim::TimeModel::hadoop`].
 
-use crate::factors::{factor_to_rdd, rows_to_matrix, tensor_to_rdd, tensor_storage_bytes};
+use crate::factors::{factor_to_rdd, rows_to_matrix, tensor_storage_bytes, tensor_to_rdd};
 use crate::records::{scale_row, CooRecord, Row};
 use crate::{CpResult, CstfError, DecompositionStats, Result, Strategy};
 use cstf_dataflow::{Cluster, Rdd};
@@ -82,8 +82,11 @@ pub fn bigtensor_mttkrp(
 
     // STAGE 1: matricized tensor keyed on i_p, joined with factor p.
     // Result records are (i, (j₀, X₍ₙ₎(i,j₀) · F_p(i_p, :))).
+    // Record layout: keyed on the join index, value is ((row, unfolded
+    // column), tensor entry).
+    type KeyedEntry = (u32, ((u32, u64), f64));
     let strides1 = strides.clone();
-    let keyed_p: Rdd<(u32, ((u32, u64), f64))> = tensor.map(move |rec| {
+    let keyed_p: Rdd<KeyedEntry> = tensor.map(move |rec| {
         let col = unfold_column(&rec.coord, &strides1);
         (rec.coord[p], ((rec.coord[mode], col), rec.val))
     });
@@ -331,15 +334,8 @@ mod tests {
         .unwrap();
         let c = cluster();
         let factors = random_factors(t.shape(), 2, 47);
-        let r1 = bigtensor_mttkrp(
-            &c,
-            &tensor_to_rdd(&c, &t, 4),
-            &factors,
-            t.shape(),
-            0,
-            8,
-        )
-        .unwrap();
+        let r1 =
+            bigtensor_mttkrp(&c, &tensor_to_rdd(&c, &t, 4), &factors, t.shape(), 0, 8).unwrap();
         let r2 = bigtensor_mttkrp(
             &c,
             &tensor_to_rdd(&c, &doubled, 4),

@@ -150,9 +150,8 @@ impl CpCompletion {
         'outer: for _ in 0..self.max_iterations {
             for mode in 0..order {
                 cluster.metrics().set_scope(format!("MTTKRP-{}", mode + 1));
-                let stats = normal_equation_rows(
-                    cluster, &observed, &factors, mode, rank, partitions,
-                )?;
+                let stats =
+                    normal_equation_rows(cluster, &observed, &factors, mode, rank, partitions)?;
                 // Driver: solve (G + λI) a = rhs per observed row; rows
                 // with no observations shrink to zero under λ.
                 let lambda = self.regularization;
@@ -366,7 +365,11 @@ mod tests {
             .run(&c, &full)
             .unwrap();
         for w in res.rmse_history.windows(2) {
-            assert!(w[1] <= w[0] + 1e-9, "rmse regressed: {:?}", res.rmse_history);
+            assert!(
+                w[1] <= w[0] + 1e-9,
+                "rmse regressed: {:?}",
+                res.rmse_history
+            );
         }
     }
 
@@ -408,11 +411,19 @@ mod tests {
         // Mode-0 index 9 never observed: its row must be zero, not NaN.
         let t = CooTensor::from_entries(
             vec![10, 4, 4],
-            vec![(vec![0, 1, 2], 1.0), (vec![1, 2, 3], 2.0), (vec![2, 0, 0], 3.0)],
+            vec![
+                (vec![0, 1, 2], 1.0),
+                (vec![1, 2, 3], 2.0),
+                (vec![2, 0, 0], 3.0),
+            ],
         )
         .unwrap();
         let c = cluster();
-        let res = CpCompletion::new(2).max_iterations(3).seed(5).run(&c, &t).unwrap();
+        let res = CpCompletion::new(2)
+            .max_iterations(3)
+            .seed(5)
+            .run(&c, &t)
+            .unwrap();
         let row = res.kruskal.factors[0].row(9);
         assert!(row.iter().all(|&x| x == 0.0), "unobserved row {row:?}");
         assert!(res.kruskal.factors.iter().all(|f| f.all_finite()));
@@ -423,7 +434,11 @@ mod tests {
         let t = RandomTensor::new(vec![12, 12, 12]).nnz(300).seed(6).build();
         let c = cluster();
         c.metrics().reset();
-        let _ = CpCompletion::new(2).max_iterations(1).seed(7).run(&c, &t).unwrap();
+        let _ = CpCompletion::new(2)
+            .max_iterations(1)
+            .seed(7)
+            .run(&c, &t)
+            .unwrap();
         let m = c.metrics().snapshot();
         // 3 modes × 1 reduce shuffle (broadcast join needs none).
         assert_eq!(m.significant_shuffle_count(t.nnz() as u64 / 2), 3);

@@ -265,11 +265,8 @@ impl CpAls {
                 };
 
                 // Driver-side normal equations: V = ∗_{m≠n} Gₘ, Aₙ = M V⁺.
-                let mut v = DenseMatrix::from_vec(
-                    self.rank,
-                    self.rank,
-                    vec![1.0; self.rank * self.rank],
-                );
+                let mut v =
+                    DenseMatrix::from_vec(self.rank, self.rank, vec![1.0; self.rank * self.rank]);
                 for (g_mode, g) in grams.iter().enumerate() {
                     if g_mode != mode {
                         v = v.hadamard(g)?;
@@ -448,19 +445,17 @@ mod tests {
             .run(&c2, &t)
             .unwrap();
         assert!((coo.stats.final_fit - qcoo.stats.final_fit).abs() < 1e-6);
-        for (a, b) in coo
-            .kruskal
-            .factors
-            .iter()
-            .zip(qcoo.kruskal.factors.iter())
-        {
+        for (a, b) in coo.kruskal.factors.iter().zip(qcoo.kruskal.factors.iter()) {
             assert!(a.max_abs_diff(b) < 1e-6);
         }
     }
 
     #[test]
     fn fourth_order_decomposition_runs() {
-        let t = RandomTensor::new(vec![6, 5, 7, 4]).nnz(200).seed(34).build();
+        let t = RandomTensor::new(vec![6, 5, 7, 4])
+            .nnz(200)
+            .seed(34)
+            .build();
         let c = cluster();
         for strategy in [Strategy::Coo, Strategy::Qcoo] {
             let res = CpAls::new(2)
@@ -559,7 +554,10 @@ mod tests {
 
     #[test]
     fn nonnegative_factors_have_no_negative_entries() {
-        let t = RandomTensor::new(vec![10, 10, 10]).nnz(200).seed(41).build();
+        let t = RandomTensor::new(vec![10, 10, 10])
+            .nnz(200)
+            .seed(41)
+            .build();
         let c = cluster();
         let res = CpAls::new(3)
             .nonnegative()
@@ -578,7 +576,10 @@ mod tests {
 
     #[test]
     fn uncached_tensor_recomputes_every_mttkrp() {
-        let t = RandomTensor::new(vec![10, 10, 10]).nnz(200).seed(42).build();
+        let t = RandomTensor::new(vec![10, 10, 10])
+            .nnz(200)
+            .seed(42)
+            .build();
         let records_out_total = |cache: bool| {
             let c = cluster();
             let builder = CpAls::new(2)
@@ -586,7 +587,11 @@ mod tests {
                 .max_iterations(2)
                 .skip_fit()
                 .seed(8);
-            let builder = if cache { builder } else { builder.no_tensor_cache() };
+            let builder = if cache {
+                builder
+            } else {
+                builder.no_tensor_cache()
+            };
             let _ = builder.run(&c, &t).unwrap();
             let m = c.metrics().snapshot();
             m.stages().map(|s| s.records_computed).sum::<u64>()
@@ -600,7 +605,10 @@ mod tests {
 
     #[test]
     fn shuffle_storage_stays_bounded_across_iterations() {
-        let t = RandomTensor::new(vec![10, 10, 10]).nnz(150).seed(43).build();
+        let t = RandomTensor::new(vec![10, 10, 10])
+            .nnz(150)
+            .seed(43)
+            .build();
         let c = cluster();
         for strategy in [Strategy::Coo, Strategy::Qcoo] {
             let _ = CpAls::new(2)

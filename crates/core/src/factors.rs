@@ -13,7 +13,11 @@ use crate::records::CooRecord;
 
 /// Distributes a factor matrix as an RDD of `(row_index, row)` records
 /// (the paper's `IndexedRowMatrix`).
-pub fn factor_to_rdd(cluster: &Cluster, factor: &DenseMatrix, partitions: usize) -> Rdd<(u32, Row)> {
+pub fn factor_to_rdd(
+    cluster: &Cluster,
+    factor: &DenseMatrix,
+    partitions: usize,
+) -> Rdd<(u32, Row)> {
     let rows: Vec<(u32, Row)> = factor
         .rows_iter()
         .enumerate()

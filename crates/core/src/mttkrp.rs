@@ -243,7 +243,10 @@ mod tests {
 
     #[test]
     fn matches_sequential_fifth_order() {
-        let t = RandomTensor::new(vec![5, 4, 6, 3, 4]).nnz(80).seed(5).build();
+        let t = RandomTensor::new(vec![5, 4, 6, 3, 4])
+            .nnz(80)
+            .seed(5)
+            .build();
         run_all_modes(&t, 2, 13);
     }
 
@@ -286,8 +289,7 @@ mod tests {
         let m = c.metrics().snapshot();
         let reduce_stage = m
             .stages()
-            .filter(|s| s.name.contains("reduce_by_key"))
-            .next()
+            .find(|s| s.name.contains("reduce_by_key"))
             .unwrap();
         // Each reduce record: key 4 + row (4 + 8R) bytes.
         let expect = (t.nnz() * (8 + 8 * rank)) as u64;
@@ -314,11 +316,24 @@ mod tests {
         let rdd = tensor_to_rdd(&c, &t, 8).persist_now();
         let factors = random_factors(t.shape(), 3, 14);
         for mode in 0..3 {
-            let shuffle = mttkrp_coo(&c, &rdd, &factors, t.shape(), mode, &MttkrpOptions::default())
-                .unwrap();
-            let broadcast =
-                mttkrp_coo_broadcast(&c, &rdd, &factors, t.shape(), mode, &MttkrpOptions::default())
-                    .unwrap();
+            let shuffle = mttkrp_coo(
+                &c,
+                &rdd,
+                &factors,
+                t.shape(),
+                mode,
+                &MttkrpOptions::default(),
+            )
+            .unwrap();
+            let broadcast = mttkrp_coo_broadcast(
+                &c,
+                &rdd,
+                &factors,
+                t.shape(),
+                mode,
+                &MttkrpOptions::default(),
+            )
+            .unwrap();
             assert!(broadcast.max_abs_diff(&shuffle) < 1e-9, "mode {mode}");
         }
     }
@@ -380,7 +395,14 @@ mod tests {
         let rdd = tensor_to_rdd(&c, &t, 2);
         let factors = random_factors(t.shape(), 2, 1);
         assert!(matches!(
-            mttkrp_coo(&c, &rdd, &factors[..2], t.shape(), 0, &MttkrpOptions::default()),
+            mttkrp_coo(
+                &c,
+                &rdd,
+                &factors[..2],
+                t.shape(),
+                0,
+                &MttkrpOptions::default()
+            ),
             Err(CstfError::Config(_))
         ));
         assert!(matches!(

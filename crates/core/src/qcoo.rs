@@ -74,10 +74,9 @@ impl QcooState {
             )));
         }
         let capacity = order - 1;
-        let mut state: Rdd<(u32, QRecord)> =
-            tensor.map(|rec| (rec.coord[0], QRecord::new(rec)));
-        for m in 0..order - 1 {
-            let factor_rdd = factor_to_rdd(cluster, &factors[m], partitions);
+        let mut state: Rdd<(u32, QRecord)> = tensor.map(|rec| (rec.coord[0], QRecord::new(rec)));
+        for (m, factor) in factors.iter().enumerate().take(order - 1) {
+            let factor_rdd = factor_to_rdd(cluster, factor, partitions);
             let next = m + 1;
             state = state
                 .join_with(&factor_rdd, partitions)
@@ -158,17 +157,17 @@ impl QcooState {
         let capacity = order - 1;
         let factor_rdd = factor_to_rdd(&self.cluster, factor_of_key_mode, self.partitions);
         // STAGE 1 (join) + STAGE 2 (rotate & re-key) — one shuffle.
-        let rotated_raw = self
-            .state
-            .join_with(&factor_rdd, self.partitions)
-            .map(move |(_, (mut q, row))| {
-                q.rotate(row, capacity);
-                (q.entry.coord[out_mode], q)
-            });
+        let rotated_raw =
+            self.state
+                .join_with(&factor_rdd, self.partitions)
+                .map(move |(_, (mut q, row))| {
+                    q.rotate(row, capacity);
+                    (q.entry.coord[out_mode], q)
+                });
         // Periodic lineage truncation; otherwise in-memory caching, as
         // §4.2 describes.
         let rotated = if self.checkpoint_interval > 0
-            && (self.steps_taken + 1) % self.checkpoint_interval == 0
+            && (self.steps_taken + 1).is_multiple_of(self.checkpoint_interval)
         {
             rotated_raw.checkpoint()
         } else {
@@ -344,10 +343,7 @@ mod tests {
                 let (m_mode, m) = q.step(&factors[q.next_join_mode()]).unwrap();
                 assert_eq!(m_mode, mode);
                 let seq = cstf_tensor::mttkrp::mttkrp(&t, &refs, mode).unwrap();
-                assert!(
-                    m.max_abs_diff(&seq) < 1e-9,
-                    "cycle {cycle} mode {mode}"
-                );
+                assert!(m.max_abs_diff(&seq) < 1e-9, "cycle {cycle} mode {mode}");
             }
             // An explicit global clear must also be safe: the live state
             // is cached or checkpointed, so lineage never needs the
@@ -374,7 +370,10 @@ mod tests {
     fn intermediate_state_bytes_match_table4() {
         // QCOO state records carry (N−1)·R doubles: for N=3, R=2 the join
         // shuffle moves ≈ 2·nnz·R doubles of queue payload.
-        let t = RandomTensor::new(vec![16, 16, 16]).nnz(400).seed(10).build();
+        let t = RandomTensor::new(vec![16, 16, 16])
+            .nnz(400)
+            .seed(10)
+            .build();
         let rank = 2;
         let c = cluster();
         let rdd = tensor_to_rdd(&c, &t, 8).persist_now();

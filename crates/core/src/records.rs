@@ -101,6 +101,9 @@ pub fn hadamard_rows(a: &[f64], b: &[f64]) -> Row {
 }
 
 /// Element-wise sum of two rows (the `reduceByKey` combiner).
+// The combiner contract is `Fn(V, V) -> V` with `V = Row`, so `b` must be
+// taken by value even though it is only read.
+#[allow(clippy::boxed_local)]
 pub fn add_rows(mut a: Row, b: Row) -> Row {
     debug_assert_eq!(a.len(), b.len());
     for (x, y) in a.iter_mut().zip(b.iter()) {

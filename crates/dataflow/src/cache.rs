@@ -125,7 +125,10 @@ impl BlockManager {
 
     /// Storage level of a cached partition, if present.
     pub fn level_of(&self, rdd_id: usize, partition: usize) -> Option<StorageLevel> {
-        self.blocks.lock().get(&(rdd_id, partition)).map(|b| b.level)
+        self.blocks
+            .lock()
+            .get(&(rdd_id, partition))
+            .map(|b| b.level)
     }
 }
 

@@ -1,5 +1,8 @@
 //! Cluster configuration.
 
+use crate::executor::SpeculationPolicy;
+use crate::fault::FaultConfig;
+
 /// Configuration for a [`crate::Cluster`].
 ///
 /// The engine executes on local OS threads (`executor_threads`) while
@@ -7,6 +10,12 @@
 /// node `p % nodes`, which determines whether shuffled bytes count as
 /// remote or local. `default_parallelism` is the partition count used when
 /// an operation does not specify one (Spark's `spark.default.parallelism`).
+///
+/// Fault tolerance mirrors Spark's task scheduler: every task gets up to
+/// `max_task_attempts` attempts (`spark.task.maxFailures`), optional
+/// [`SpeculationPolicy`] re-launches stragglers (`spark.speculation`), and
+/// an optional deterministic [`FaultConfig`] injects task-level failures
+/// for chaos testing.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterConfig {
     /// Number of simulated worker nodes (the x-axis of Figures 2/3).
@@ -18,6 +27,12 @@ pub struct ClusterConfig {
     pub executor_threads: usize,
     /// Partition count used by operations that don't specify one.
     pub default_parallelism: usize,
+    /// Maximum attempts per task before the job aborts (≥ 1).
+    pub max_task_attempts: usize,
+    /// Speculative execution of stragglers; `None` disables it.
+    pub speculation: Option<SpeculationPolicy>,
+    /// Deterministic fault injection; `None` runs fault-free.
+    pub faults: Option<FaultConfig>,
 }
 
 impl ClusterConfig {
@@ -30,6 +45,9 @@ impl ClusterConfig {
             cores_per_node: threads,
             executor_threads: threads,
             default_parallelism: 2 * threads,
+            max_task_attempts: 4,
+            speculation: None,
+            faults: None,
         }
     }
 
@@ -61,6 +79,41 @@ impl ClusterConfig {
     pub fn default_parallelism(mut self, partitions: usize) -> Self {
         assert!(partitions > 0);
         self.default_parallelism = partitions;
+        self
+    }
+
+    /// Sets the per-task attempt budget (Spark's `spark.task.maxFailures`).
+    pub fn max_task_attempts(mut self, attempts: usize) -> Self {
+        assert!(attempts > 0, "tasks need at least one attempt");
+        self.max_task_attempts = attempts;
+        self
+    }
+
+    /// Enables speculative execution: a task running longer than
+    /// `max(median × multiplier, min_task_secs)` gets one backup attempt.
+    pub fn speculation(mut self, multiplier: f64, min_task_secs: f64) -> Self {
+        assert!(multiplier >= 1.0, "speculation multiplier must be ≥ 1");
+        assert!(min_task_secs >= 0.0);
+        self.speculation = Some(SpeculationPolicy {
+            multiplier,
+            min_task_secs,
+        });
+        self
+    }
+
+    /// Installs a deterministic fault-injection schedule for chaos
+    /// testing. Panics if the schedule could fail a task more often than
+    /// `max_task_attempts` allows (the job could never finish).
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        assert!(
+            faults.max_faults_per_task < self.max_task_attempts
+                || faults.crash_probability + faults.late_crash_probability == 0.0,
+            "fault schedule may exhaust the task attempt budget: \
+             max_faults_per_task ({}) must stay below max_task_attempts ({})",
+            faults.max_faults_per_task,
+            self.max_task_attempts,
+        );
+        self.faults = Some(faults);
         self
     }
 
@@ -113,5 +166,38 @@ mod tests {
     #[test]
     fn local_zero_threads_clamped() {
         assert_eq!(ClusterConfig::local(0).executor_threads, 1);
+    }
+
+    #[test]
+    fn fault_tolerance_defaults() {
+        let c = ClusterConfig::local(2);
+        assert_eq!(c.max_task_attempts, 4);
+        assert!(c.speculation.is_none());
+        assert!(c.faults.is_none());
+    }
+
+    #[test]
+    fn fault_builders() {
+        let c = ClusterConfig::local(2)
+            .max_task_attempts(3)
+            .speculation(2.0, 0.05)
+            .faults(FaultConfig::crashes(1, 0.5));
+        assert_eq!(c.max_task_attempts, 3);
+        assert_eq!(c.speculation.as_ref().unwrap().multiplier, 2.0);
+        assert_eq!(c.faults.as_ref().unwrap().seed, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "attempt budget")]
+    fn unwinnable_fault_schedule_rejected() {
+        let _ = ClusterConfig::local(2)
+            .max_task_attempts(2)
+            .faults(FaultConfig::crashes(1, 1.0).with_max_faults_per_task(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attempt")]
+    fn zero_attempts_rejected() {
+        let _ = ClusterConfig::local(1).max_task_attempts(0);
     }
 }

@@ -3,7 +3,8 @@
 
 use crate::cache::BlockManager;
 use crate::config::ClusterConfig;
-use crate::executor::Executor;
+use crate::executor::{Executor, RunPolicy};
+use crate::fault::{FaultInjector, InjectedFault};
 use crate::hash::FxHashSet;
 use crate::metrics::{MetricsRegistry, StageCollector, StageKind};
 use crate::rdd::{Dependency, NodeInfo, Rdd, RddNode, ShuffleDependency};
@@ -12,6 +13,62 @@ use crate::Data;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Everything a winning task attempt hands back to the driver: the task's
+/// value plus the metrics that must only be committed once per task.
+struct TaskRun<O> {
+    value: O,
+    records: u64,
+    cpu_secs: f64,
+    sink: StageCollector,
+}
+
+/// Runs one attempt of a task: applies the injected fault (if any),
+/// computes `body` against a private per-attempt metrics sink, and
+/// packages the result for driver-side commit. Failed attempts return
+/// `Err`, and their sink — along with any shuffle output `body` prepared —
+/// is dropped with the `TaskRun`, never reaching shared state.
+fn run_attempt<O>(
+    cluster: &Cluster,
+    injector: Option<&FaultInjector>,
+    stage_id: usize,
+    partition: usize,
+    attempt: usize,
+    body: impl FnOnce(&TaskContext) -> (O, u64),
+) -> Result<TaskRun<O>, String> {
+    let fault = injector.and_then(|i| i.decide(stage_id, partition, attempt));
+    match fault {
+        Some(InjectedFault::Crash) => {
+            return Err(format!(
+                "injected crash (stage {stage_id}, partition {partition}, attempt {attempt})"
+            ));
+        }
+        Some(InjectedFault::Delay(d)) => std::thread::sleep(d),
+        _ => {}
+    }
+    let sink = StageCollector::attempt_sink(cluster.config().nodes);
+    let t0 = Instant::now();
+    let (value, records) = {
+        let ctx = TaskContext {
+            cluster,
+            stage: &sink,
+            partition,
+        };
+        body(&ctx)
+    };
+    let cpu_secs = t0.elapsed().as_secs_f64();
+    if let Some(InjectedFault::LateCrash) = fault {
+        return Err(format!(
+            "injected late crash (stage {stage_id}, partition {partition}, attempt {attempt})"
+        ));
+    }
+    Ok(TaskRun {
+        value,
+        records,
+        cpu_secs,
+        sink,
+    })
+}
 
 struct ClusterInner {
     config: ClusterConfig,
@@ -148,9 +205,7 @@ impl Cluster {
                     self.visit(parent, pending, seen_nodes, seen_shuffles)
                 }
                 Dependency::Shuffle(shuffle) => {
-                    if seen_shuffles.insert(shuffle.shuffle_id())
-                        && !shuffle.materialized(self)
-                    {
+                    if seen_shuffles.insert(shuffle.shuffle_id()) && !shuffle.materialized(self) {
                         // Post-order: upstream shuffles first.
                         self.visit(shuffle.parent_info(), pending, seen_nodes, seen_shuffles);
                         pending.push(shuffle);
@@ -160,9 +215,32 @@ impl Cluster {
         }
     }
 
+    /// Retry/speculation policy derived from the cluster config.
+    fn run_policy(&self) -> RunPolicy {
+        RunPolicy {
+            max_attempts: self.inner.config.max_task_attempts,
+            speculation: self.inner.config.speculation.clone(),
+        }
+    }
+
+    /// Fault injector derived from the cluster config, if chaos testing
+    /// is enabled.
+    fn fault_injector(&self) -> Option<FaultInjector> {
+        self.inner.config.faults.clone().map(FaultInjector::new)
+    }
+
     /// Runs an action: materializes dependencies, then executes one result
     /// task per partition of `node`, applying `f` to each partition's
     /// records. Returns per-partition results in partition order.
+    ///
+    /// Tasks run with bounded retries and optional speculation (see
+    /// [`ClusterConfig`]); per-attempt metrics are committed only for the
+    /// winning attempt of each task.
+    ///
+    /// # Panics
+    ///
+    /// If a task exhausts its attempt budget, after all in-flight tasks
+    /// have stopped.
     pub(crate) fn run_job<T: Data, U: Send>(
         &self,
         node: &Arc<dyn RddNode<T>>,
@@ -177,78 +255,90 @@ impl Cluster {
             .inner
             .metrics
             .begin_stage(name, StageKind::Result, nodes);
+        let stage_id = collector.stage_id();
+        let injector = self.fault_injector();
         let num_partitions = node.num_partitions();
         let tasks: Vec<_> = (0..num_partitions)
             .map(|p| {
                 let node = node.clone();
-                let collector = &collector;
                 let f = &f;
-                move || {
-                    let ctx = TaskContext {
-                        cluster: self,
-                        stage: collector,
-                        partition: p,
-                    };
-                    let t0 = Instant::now();
-                    let data = node.compute(p, &ctx);
-                    let records = data.len() as u64;
-                    let out = f(p, data);
-                    collector.record_task(
-                        self.inner.config.node_of(p),
-                        t0.elapsed().as_secs_f64(),
-                        records,
-                    );
-                    out
+                let injector = injector.as_ref();
+                move |attempt: usize| {
+                    run_attempt(self, injector, stage_id, p, attempt, |ctx| {
+                        let data = node.compute(p, ctx);
+                        let records = data.len() as u64;
+                        (f(p, data), records)
+                    })
                 }
             })
             .collect();
-        let results = self.inner.executor.run(tasks);
+        let (runs, stats) = self
+            .inner
+            .executor
+            .run_fallible(tasks, &self.run_policy())
+            .unwrap_or_else(|e| panic!("stage '{name}' aborted: {e}"));
+        let mut results = Vec::with_capacity(runs.len());
+        for (p, run) in runs.into_iter().enumerate() {
+            collector.record_task(self.inner.config.node_of(p), run.cpu_secs, run.records);
+            collector.absorb(run.sink);
+            results.push(run.value);
+        }
+        collector.record_run_stats(&stats);
         self.inner.metrics.finish_stage(collector);
         results
     }
 
-    /// Runs one shuffle-map stage over the given partitions of `parent`,
-    /// writing `write_output` per partition. Used by shuffle dependencies
-    /// during (re-)materialization; after a node failure only the lost map
-    /// partitions are listed, so recovery work is proportional to the
-    /// loss (Spark's lineage-based recomputation).
-    pub(crate) fn run_shuffle_map_stage<T: Data>(
+    /// Runs one shuffle-map stage over the given partitions of `parent`:
+    /// `prepare` builds each map partition's shuffle output inside the
+    /// task, and `commit` publishes it from the driver — only for the
+    /// winning attempt, so retried and speculatively-duplicated tasks can
+    /// never double-register outputs or double-count write metrics.
+    ///
+    /// Used by shuffle dependencies during (re-)materialization; after a
+    /// node failure only the lost map partitions are listed, so recovery
+    /// work is proportional to the loss (Spark's lineage-based
+    /// recomputation).
+    pub(crate) fn run_shuffle_map_stage<T: Data, P: Send>(
         &self,
         parent: &Arc<dyn RddNode<T>>,
         name: &str,
         partitions: Vec<usize>,
-        write_output: impl Fn(usize, Vec<T>, &StageCollector) + Send + Sync,
+        prepare: impl Fn(usize, Vec<T>) -> P + Send + Sync,
+        commit: impl Fn(usize, P, &StageCollector),
     ) {
         let nodes = self.inner.config.nodes;
         let collector = self
             .inner
             .metrics
             .begin_stage(name, StageKind::ShuffleMap, nodes);
+        let stage_id = collector.stage_id();
+        let injector = self.fault_injector();
         let tasks: Vec<_> = partitions
-            .into_iter()
-            .map(|p| {
+            .iter()
+            .map(|&p| {
                 let parent = parent.clone();
-                let collector = &collector;
-                let write_output = &write_output;
-                move || {
-                    let ctx = TaskContext {
-                        cluster: self,
-                        stage: collector,
-                        partition: p,
-                    };
-                    let t0 = Instant::now();
-                    let data = parent.compute(p, &ctx);
-                    let records = data.len() as u64;
-                    write_output(p, data, collector);
-                    collector.record_task(
-                        self.inner.config.node_of(p),
-                        t0.elapsed().as_secs_f64(),
-                        records,
-                    );
+                let prepare = &prepare;
+                let injector = injector.as_ref();
+                move |attempt: usize| {
+                    run_attempt(self, injector, stage_id, p, attempt, |ctx| {
+                        let data = parent.compute(p, ctx);
+                        let records = data.len() as u64;
+                        (prepare(p, data), records)
+                    })
                 }
             })
             .collect();
-        self.inner.executor.run(tasks);
+        let (runs, stats) = self
+            .inner
+            .executor
+            .run_fallible(tasks, &self.run_policy())
+            .unwrap_or_else(|e| panic!("stage '{name}' aborted: {e}"));
+        for (&p, run) in partitions.iter().zip(runs) {
+            collector.record_task(self.inner.config.node_of(p), run.cpu_secs, run.records);
+            collector.absorb(run.sink);
+            commit(p, run.value, &collector);
+        }
+        collector.record_run_stats(&stats);
         self.inner.metrics.finish_stage(collector);
     }
 }

@@ -8,7 +8,341 @@
 //! nested submission can occur.
 
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Condvar;
+use std::time::{Duration, Instant};
+
+/// Retry and speculation policy for [`Executor::run_fallible`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunPolicy {
+    /// Maximum attempts per task, counting the first (Spark's
+    /// `spark.task.maxFailures`, default 4). Clamped to at least 1.
+    pub max_attempts: usize,
+    /// Speculative-execution policy; `None` disables speculation.
+    pub speculation: Option<SpeculationPolicy>,
+}
+
+impl Default for RunPolicy {
+    fn default() -> Self {
+        RunPolicy {
+            max_attempts: 4,
+            speculation: None,
+        }
+    }
+}
+
+/// When to launch a backup copy of a slow task.
+///
+/// Once at least half of a batch's tasks have committed, a task whose
+/// oldest live attempt has been running longer than
+/// `max(median_task_secs × multiplier, min_task_secs)` gets one backup
+/// attempt. Whichever attempt commits first wins; the loser's output is
+/// discarded. Both attempts compute the same deterministic partition
+/// function, so the winner's result is bit-identical either way.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeculationPolicy {
+    /// Straggler threshold as a multiple of the median committed task
+    /// duration (Spark's `spark.speculation.multiplier`).
+    pub multiplier: f64,
+    /// Absolute floor for the threshold, so short healthy tasks are not
+    /// speculated on scheduling noise.
+    pub min_task_secs: f64,
+}
+
+impl Default for SpeculationPolicy {
+    fn default() -> Self {
+        SpeculationPolicy {
+            multiplier: 1.5,
+            min_task_secs: 0.1,
+        }
+    }
+}
+
+/// A task that exhausted its retry budget, aborting the batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskError {
+    /// Index of the failing task within the batch.
+    pub task: usize,
+    /// Attempts consumed (== the policy's `max_attempts`).
+    pub attempts: usize,
+    /// Failure message of the last attempt (error string or panic
+    /// payload).
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "task {} failed after {} attempt(s): {}",
+            self.task, self.attempts, self.message
+        )
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+/// Recovery accounting for one [`Executor::run_fallible`] batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunStats {
+    /// Attempts that failed (error return or panic), including the final
+    /// attempt of a task that exhausted its budget.
+    pub task_failures: u64,
+    /// Retry attempts enqueued after a failure.
+    pub task_retries: u64,
+    /// Speculative backup attempts launched.
+    pub speculative_launched: u64,
+    /// Tasks whose speculative backup committed first.
+    pub speculative_won: u64,
+    /// Wall-clock seconds burned by attempts whose output was discarded
+    /// (failed attempts and losing duplicates).
+    pub wasted_task_secs: f64,
+}
+
+/// One queued execution of a task.
+struct Attempt {
+    task: usize,
+    attempt: usize,
+    speculative: bool,
+}
+
+/// Per-task bookkeeping shared by workers and the speculation monitor.
+struct TaskState<R> {
+    result: Mutex<Option<R>>,
+    /// First-writer-wins latch: set by the attempt that commits.
+    committed: AtomicBool,
+    /// Failures so far (== attempts consumed by failures).
+    failures: AtomicUsize,
+    /// Next attempt id to hand out (0 went to the initial attempt).
+    next_attempt: AtomicUsize,
+    /// Whether a speculative copy was already launched.
+    speculated: AtomicBool,
+    /// Start of the oldest still-relevant attempt, for straggler age.
+    running_since: Mutex<Option<Instant>>,
+}
+
+/// State shared across the worker threads of one fallible batch.
+struct Batch<'t, F, R> {
+    tasks: &'t [F],
+    policy: RunPolicy,
+    queue: Mutex<VecDeque<Attempt>>,
+    available: Condvar,
+    done: AtomicBool,
+    remaining: AtomicUsize,
+    states: Vec<TaskState<R>>,
+    /// Committed attempt durations (seconds), for the speculation median.
+    durations: Mutex<Vec<f64>>,
+    error: Mutex<Option<TaskError>>,
+    failures: AtomicU64,
+    retries: AtomicU64,
+    spec_launched: AtomicU64,
+    spec_won: AtomicU64,
+    wasted_nanos: AtomicU64,
+}
+
+impl<'t, F, R> Batch<'t, F, R>
+where
+    F: Fn(usize) -> Result<R, String> + Sync,
+    R: Send,
+{
+    fn new(tasks: &'t [F], policy: RunPolicy) -> Self {
+        let n = tasks.len();
+        Batch {
+            tasks,
+            policy,
+            queue: Mutex::new(
+                (0..n)
+                    .map(|task| Attempt {
+                        task,
+                        attempt: 0,
+                        speculative: false,
+                    })
+                    .collect(),
+            ),
+            available: Condvar::new(),
+            done: AtomicBool::new(false),
+            remaining: AtomicUsize::new(n),
+            states: (0..n)
+                .map(|_| TaskState {
+                    result: Mutex::new(None),
+                    committed: AtomicBool::new(false),
+                    failures: AtomicUsize::new(0),
+                    next_attempt: AtomicUsize::new(1),
+                    speculated: AtomicBool::new(false),
+                    running_since: Mutex::new(None),
+                })
+                .collect(),
+            durations: Mutex::new(Vec::new()),
+            error: Mutex::new(None),
+            failures: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            spec_launched: AtomicU64::new(0),
+            spec_won: AtomicU64::new(0),
+            wasted_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Wakes everyone up to exit.
+    fn finish(&self) {
+        self.done.store(true, Ordering::Release);
+        self.available.notify_all();
+    }
+
+    fn add_wasted(&self, secs: f64) {
+        self.wasted_nanos
+            .fetch_add((secs * 1e9) as u64, Ordering::Relaxed);
+    }
+
+    fn enqueue(&self, attempt: Attempt) {
+        self.queue.lock().push_back(attempt);
+        self.available.notify_one();
+    }
+
+    /// Worker loop: pull attempts until the batch finishes or aborts.
+    fn work(&self) {
+        loop {
+            let att = {
+                let mut q = self.queue.lock();
+                loop {
+                    if self.done.load(Ordering::Acquire) {
+                        return;
+                    }
+                    if let Some(a) = q.pop_front() {
+                        break a;
+                    }
+                    q = self.available.wait(q).expect("executor queue poisoned");
+                }
+            };
+            let state = &self.states[att.task];
+            if state.committed.load(Ordering::Acquire) {
+                continue; // losing speculative duplicate, never started
+            }
+            {
+                let mut since = state.running_since.lock();
+                if since.is_none() {
+                    *since = Some(Instant::now());
+                }
+            }
+            let t0 = Instant::now();
+            let outcome =
+                match catch_unwind(AssertUnwindSafe(|| (self.tasks[att.task])(att.attempt))) {
+                    Ok(Ok(value)) => Ok(value),
+                    Ok(Err(message)) => Err(message),
+                    Err(payload) => Err(panic_message(&*payload)),
+                };
+            let elapsed = t0.elapsed().as_secs_f64();
+            match outcome {
+                Ok(value) => {
+                    if !state.committed.swap(true, Ordering::AcqRel) {
+                        *state.result.lock() = Some(value);
+                        self.durations.lock().push(elapsed);
+                        if att.speculative {
+                            self.spec_won.fetch_add(1, Ordering::Relaxed);
+                        }
+                        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                            self.finish();
+                        }
+                    } else {
+                        self.add_wasted(elapsed); // lost the commit race
+                    }
+                }
+                Err(message) => {
+                    self.failures.fetch_add(1, Ordering::Relaxed);
+                    self.add_wasted(elapsed);
+                    if state.committed.load(Ordering::Acquire) {
+                        continue; // a duplicate already won; failure is moot
+                    }
+                    let fails = state.failures.fetch_add(1, Ordering::AcqRel) + 1;
+                    if fails >= self.policy.max_attempts {
+                        *self.error.lock() = Some(TaskError {
+                            task: att.task,
+                            attempts: fails,
+                            message,
+                        });
+                        self.finish();
+                    } else {
+                        self.retries.fetch_add(1, Ordering::Relaxed);
+                        let id = state.next_attempt.fetch_add(1, Ordering::AcqRel);
+                        self.enqueue(Attempt {
+                            task: att.task,
+                            attempt: id,
+                            speculative: false,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Speculation monitor: periodically launches backup copies of
+    /// stragglers. Runs on the driver thread while workers execute.
+    fn monitor(&self) {
+        let spec = match self.policy.speculation.clone() {
+            Some(s) => s,
+            None => return,
+        };
+        let n = self.states.len();
+        while !self.done.load(Ordering::Acquire) {
+            std::thread::sleep(Duration::from_millis(2));
+            let median = {
+                let d = self.durations.lock();
+                // Like Spark, wait for a quorum of finished tasks before
+                // trusting the duration distribution.
+                if d.len() * 2 < n {
+                    continue;
+                }
+                let mut sorted = d.clone();
+                sorted.sort_by(f64::total_cmp);
+                sorted[sorted.len() / 2]
+            };
+            let threshold = (median * spec.multiplier).max(spec.min_task_secs);
+            for (task, state) in self.states.iter().enumerate() {
+                if state.committed.load(Ordering::Acquire)
+                    || state.speculated.load(Ordering::Acquire)
+                {
+                    continue;
+                }
+                let age = state
+                    .running_since
+                    .lock()
+                    .map(|t| t.elapsed().as_secs_f64());
+                if let Some(age) = age {
+                    if age > threshold && !state.speculated.swap(true, Ordering::AcqRel) {
+                        self.spec_launched.fetch_add(1, Ordering::Relaxed);
+                        let id = state.next_attempt.fetch_add(1, Ordering::AcqRel);
+                        self.enqueue(Attempt {
+                            task,
+                            attempt: id,
+                            speculative: true,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> RunStats {
+        RunStats {
+            task_failures: self.failures.load(Ordering::Relaxed),
+            task_retries: self.retries.load(Ordering::Relaxed),
+            speculative_launched: self.spec_launched.load(Ordering::Relaxed),
+            speculative_won: self.spec_won.load(Ordering::Relaxed),
+            wasted_task_secs: self.wasted_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "task panicked".to_string()
+    }
+}
 
 /// A fork-join executor with a fixed worker count.
 #[derive(Debug)]
@@ -49,8 +383,7 @@ impl Executor {
             return tasks.into_iter().map(|t| t()).collect();
         }
 
-        let slots: Vec<Mutex<Option<F>>> =
-            tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let slots: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
         let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
 
@@ -72,6 +405,59 @@ impl Executor {
             .into_iter()
             .map(|r| r.into_inner().expect("worker dropped a result"))
             .collect()
+    }
+
+    /// Runs every task with bounded retries and optional speculative
+    /// execution, returning results in task order plus recovery
+    /// statistics.
+    ///
+    /// Each task is a *re-runnable* closure called with its attempt index
+    /// (0 for the first attempt). A task attempt fails by returning `Err`
+    /// or panicking; the panic is caught and the task is retried until it
+    /// succeeds or `policy.max_attempts` attempts have failed, at which
+    /// point the whole batch stops and the error is returned — no result
+    /// is ever silently dropped and no worker is left hanging.
+    ///
+    /// Exactly one attempt per task **commits** (first writer wins); the
+    /// output of failed attempts and of losing speculative duplicates is
+    /// discarded. With deterministic task closures, the returned results
+    /// are therefore identical whatever the fault and race history.
+    pub fn run_fallible<F, R>(
+        &self,
+        tasks: Vec<F>,
+        policy: &RunPolicy,
+    ) -> Result<(Vec<R>, RunStats), TaskError>
+    where
+        F: Fn(usize) -> Result<R, String> + Send + Sync,
+        R: Send,
+    {
+        let n = tasks.len();
+        if n == 0 {
+            return Ok((Vec::new(), RunStats::default()));
+        }
+        let mut policy = policy.clone();
+        policy.max_attempts = policy.max_attempts.max(1);
+
+        let batch = Batch::new(&tasks, policy);
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(n) {
+                scope.spawn(|| batch.work());
+            }
+            // The driver thread doubles as the speculation monitor (no-op
+            // when speculation is off); workers run until `finish()`.
+            batch.monitor();
+        });
+
+        if let Some(err) = batch.error.lock().take() {
+            return Err(err);
+        }
+        let stats = batch.stats();
+        let results = batch
+            .states
+            .into_iter()
+            .map(|s| s.result.into_inner().expect("uncommitted task result"))
+            .collect();
+        Ok((results, stats))
     }
 }
 
@@ -128,7 +514,12 @@ mod tests {
     fn tasks_can_borrow_driver_state() {
         let data = vec![1u64, 2, 3, 4];
         let ex = Executor::new(2);
-        let tasks: Vec<_> = (0..4).map(|i| { let d = &data; move || d[i] * 10 }).collect();
+        let tasks: Vec<_> = (0..4)
+            .map(|i| {
+                let d = &data;
+                move || d[i] * 10
+            })
+            .collect();
         let out = ex.run(tasks);
         assert_eq!(out, vec![10, 20, 30, 40]);
     }
@@ -156,10 +547,149 @@ mod tests {
     #[should_panic]
     fn worker_panic_propagates() {
         let ex = Executor::new(2);
-        let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![
-            Box::new(|| 1),
-            Box::new(|| panic!("task failure")),
-        ];
+        let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> =
+            vec![Box::new(|| 1), Box::new(|| panic!("task failure"))];
         ex.run(tasks);
+    }
+
+    #[test]
+    fn fallible_happy_path_matches_run() {
+        let ex = Executor::new(4);
+        let tasks: Vec<_> = (0..50).map(|i| move |_attempt: usize| Ok(i * 3)).collect();
+        let (out, stats) = ex.run_fallible(tasks, &RunPolicy::default()).unwrap();
+        assert_eq!(out, (0..50).map(|i| i * 3).collect::<Vec<_>>());
+        assert_eq!(stats, RunStats::default());
+    }
+
+    #[test]
+    fn failed_attempts_are_retried() {
+        let ex = Executor::new(4);
+        let tasks: Vec<_> = (0..40)
+            .map(|i| {
+                move |attempt: usize| {
+                    if i % 4 == 0 && attempt == 0 {
+                        Err(format!("injected failure of task {i}"))
+                    } else {
+                        Ok(i)
+                    }
+                }
+            })
+            .collect();
+        let (out, stats) = ex.run_fallible(tasks, &RunPolicy::default()).unwrap();
+        assert_eq!(out, (0..40).collect::<Vec<_>>());
+        assert_eq!(stats.task_failures, 10);
+        assert_eq!(stats.task_retries, 10);
+        assert!(stats.wasted_task_secs >= 0.0);
+    }
+
+    #[test]
+    fn panics_are_contained_and_retried() {
+        let ex = Executor::new(4);
+        let tasks: Vec<_> = (0..20)
+            .map(|i| {
+                move |attempt: usize| {
+                    if i == 7 && attempt < 2 {
+                        panic!("task 7 blew up on attempt {attempt}");
+                    }
+                    Ok(i)
+                }
+            })
+            .collect();
+        let (out, stats) = ex.run_fallible(tasks, &RunPolicy::default()).unwrap();
+        assert_eq!(out, (0..20).collect::<Vec<_>>());
+        assert_eq!(stats.task_failures, 2);
+        assert_eq!(stats.task_retries, 2);
+    }
+
+    #[test]
+    fn retry_exhaustion_returns_clean_error() {
+        let ex = Executor::new(4);
+        let tasks: Vec<_> = (0..10)
+            .map(|i| {
+                move |_attempt: usize| {
+                    if i == 3 {
+                        Err("always fails".to_string())
+                    } else {
+                        Ok(i)
+                    }
+                }
+            })
+            .collect();
+        let err = ex
+            .run_fallible(
+                tasks,
+                &RunPolicy {
+                    max_attempts: 4,
+                    speculation: None,
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err.task, 3);
+        assert_eq!(err.attempts, 4);
+        assert!(err.message.contains("always fails"));
+        assert!(err.to_string().contains("task 3"));
+    }
+
+    #[test]
+    fn max_attempts_zero_clamped_to_one() {
+        let ex = Executor::new(2);
+        let tasks: Vec<_> = vec![|_a: usize| Err::<u32, _>("boom".to_string())];
+        let err = ex
+            .run_fallible(
+                tasks,
+                &RunPolicy {
+                    max_attempts: 0,
+                    speculation: None,
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err.attempts, 1);
+    }
+
+    #[test]
+    fn speculation_rescues_straggler() {
+        // One task stalls only on its first attempt; the speculative
+        // backup (attempt 1) completes immediately and wins.
+        let ex = Executor::new(4);
+        let tasks: Vec<_> = (0..8)
+            .map(|i| {
+                move |attempt: usize| {
+                    if i == 5 && attempt == 0 {
+                        std::thread::sleep(Duration::from_millis(400));
+                    }
+                    Ok(i * 2)
+                }
+            })
+            .collect();
+        let policy = RunPolicy {
+            max_attempts: 4,
+            speculation: Some(SpeculationPolicy {
+                multiplier: 1.5,
+                min_task_secs: 0.02,
+            }),
+        };
+        let t0 = Instant::now();
+        let (out, stats) = ex.run_fallible(tasks, &policy).unwrap();
+        assert_eq!(out, (0..8).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(stats.speculative_launched, 1);
+        assert_eq!(stats.speculative_won, 1);
+        // The batch returned before the straggler's 400 ms nap finished
+        // processing would have allowed (scope still joins the sleeper,
+        // so just check the speculative copy actually committed first).
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        assert!(stats.wasted_task_secs > 0.0, "loser time must be counted");
+    }
+
+    #[test]
+    fn fallible_empty_batch() {
+        let ex = Executor::new(4);
+        let (out, stats) = ex
+            .run_fallible(
+                Vec::<fn(usize) -> Result<u32, String>>::new(),
+                &RunPolicy::default(),
+            )
+            .unwrap();
+        assert!(out.is_empty());
+        assert_eq!(stats, RunStats::default());
     }
 }

@@ -51,6 +51,7 @@ pub mod cache;
 pub mod config;
 pub mod context;
 pub mod executor;
+pub mod fault;
 pub mod hash;
 pub mod metrics;
 pub mod partitioner;
@@ -63,6 +64,8 @@ pub use broadcast::Broadcast;
 pub use cache::StorageLevel;
 pub use config::ClusterConfig;
 pub use context::{Cluster, TaskContext};
+pub use executor::{RunPolicy, RunStats, SpeculationPolicy, TaskError};
+pub use fault::{FaultConfig, FaultInjector, InjectedFault};
 pub use metrics::{JobMetrics, MetricsRegistry, StageKind, StageMetrics};
 pub use partitioner::HashPartitioner;
 pub use rdd::Rdd;

@@ -7,6 +7,7 @@
 //! come from [`crate::size::EstimateSize`] and are deterministic; CPU times
 //! are measured and feed the [`crate::sim::TimeModel`].
 
+use crate::executor::RunStats;
 use parking_lot::Mutex;
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -53,6 +54,19 @@ pub struct StageMetrics {
     pub node_cpu_secs: Vec<f64>,
     /// Longest single task, in seconds.
     pub max_task_secs: f64,
+    /// Task attempts that failed (fault injection, panic, or error) and
+    /// were discarded.
+    pub task_failures: u64,
+    /// Retry attempts launched after failures.
+    pub task_retries: u64,
+    /// Speculative backup attempts launched against stragglers.
+    pub speculative_launched: u64,
+    /// Tasks whose speculative backup committed first.
+    pub speculative_won: u64,
+    /// Wall-clock seconds burned by discarded attempts (failed attempts
+    /// and losing speculative duplicates); priced as recovery cost by the
+    /// [`crate::sim::TimeModel`].
+    pub wasted_task_secs: f64,
 }
 
 impl StageMetrics {
@@ -72,6 +86,11 @@ impl StageMetrics {
             shuffle_read_records: 0,
             node_cpu_secs: vec![0.0; nodes],
             max_task_secs: 0.0,
+            task_failures: 0,
+            task_retries: 0,
+            speculative_launched: 0,
+            speculative_won: 0,
+            wasted_task_secs: 0.0,
         }
     }
 
@@ -87,12 +106,62 @@ impl StageMetrics {
 }
 
 /// Concurrent sink tasks write into while a stage runs.
+///
+/// Under fault injection a task may run several attempts, only one of
+/// which commits. So that failed attempts and losing speculative
+/// duplicates never pollute the stage's counters, each *attempt* writes
+/// into its own private sink ([`StageCollector::attempt_sink`]); the
+/// driver absorbs the sink into the real stage collector only for the
+/// winning attempt ([`StageCollector::absorb`]). Byte/record counts are
+/// therefore retry-invariant by construction.
 #[derive(Debug)]
 pub struct StageCollector {
     inner: Mutex<StageMetrics>,
 }
 
 impl StageCollector {
+    /// Stage id this collector records into.
+    pub fn stage_id(&self) -> usize {
+        self.inner.lock().stage_id
+    }
+
+    /// Creates a private per-attempt sink with the same node count. The
+    /// sink's identity fields are irrelevant — only its counters are
+    /// merged back on commit.
+    pub(crate) fn attempt_sink(nodes: usize) -> StageCollector {
+        StageCollector {
+            inner: Mutex::new(StageMetrics::new(
+                usize::MAX,
+                String::new(),
+                String::new(),
+                StageKind::Result,
+                nodes,
+            )),
+        }
+    }
+
+    /// Merges a winning attempt's counters into this stage's metrics.
+    pub(crate) fn absorb(&self, sink: StageCollector) {
+        let s = sink.inner.into_inner();
+        let mut m = self.inner.lock();
+        m.records_computed += s.records_computed;
+        m.shuffle_write_records += s.shuffle_write_records;
+        m.shuffle_write_bytes += s.shuffle_write_bytes;
+        m.remote_bytes_read += s.remote_bytes_read;
+        m.local_bytes_read += s.local_bytes_read;
+        m.shuffle_read_records += s.shuffle_read_records;
+    }
+
+    /// Records the recovery statistics of the stage's executor batch.
+    pub(crate) fn record_run_stats(&self, stats: &RunStats) {
+        let mut m = self.inner.lock();
+        m.task_failures += stats.task_failures;
+        m.task_retries += stats.task_retries;
+        m.speculative_launched += stats.speculative_launched;
+        m.speculative_won += stats.speculative_won;
+        m.wasted_task_secs += stats.wasted_task_secs;
+    }
+
     /// Records one finished task.
     pub fn record_task(&self, node: usize, cpu_secs: f64, records_out: u64) {
         let mut m = self.inner.lock();
@@ -249,6 +318,31 @@ impl JobMetrics {
             .sum()
     }
 
+    /// Total failed task attempts across all stages.
+    pub fn total_task_failures(&self) -> u64 {
+        self.stages().map(|s| s.task_failures).sum()
+    }
+
+    /// Total retry attempts across all stages.
+    pub fn total_task_retries(&self) -> u64 {
+        self.stages().map(|s| s.task_retries).sum()
+    }
+
+    /// Total speculative attempts launched across all stages.
+    pub fn total_speculative_launched(&self) -> u64 {
+        self.stages().map(|s| s.speculative_launched).sum()
+    }
+
+    /// Total tasks won by their speculative backup across all stages.
+    pub fn total_speculative_won(&self) -> u64 {
+        self.stages().map(|s| s.speculative_won).sum()
+    }
+
+    /// Total seconds burned by discarded attempts across all stages.
+    pub fn total_wasted_task_secs(&self) -> f64 {
+        self.stages().map(|s| s.wasted_task_secs).sum()
+    }
+
     /// Number of declared job boundaries.
     pub fn job_count(&self) -> usize {
         self.events
@@ -287,7 +381,15 @@ impl JobMetrics {
         let _ = writeln!(
             out,
             "{:>5}  {:<10} {:<10} {:<32} {:>6} {:>10} {:>12} {:>12} {:>12}",
-            "stage", "scope", "kind", "name", "tasks", "records", "shfl wr B", "remote rd B", "local rd B"
+            "stage",
+            "scope",
+            "kind",
+            "name",
+            "tasks",
+            "records",
+            "shfl wr B",
+            "remote rd B",
+            "local rd B"
         );
         for e in &self.events {
             match e {
@@ -307,16 +409,28 @@ impl JobMetrics {
                     );
                 }
                 Event::DiskRead { scope, bytes } => {
-                    let _ = writeln!(out, "       {:<10} disk-read  {bytes} B", truncate(scope, 10));
+                    let _ = writeln!(
+                        out,
+                        "       {:<10} disk-read  {bytes} B",
+                        truncate(scope, 10)
+                    );
                 }
                 Event::DiskWrite { scope, bytes } => {
-                    let _ = writeln!(out, "       {:<10} disk-write {bytes} B", truncate(scope, 10));
+                    let _ = writeln!(
+                        out,
+                        "       {:<10} disk-write {bytes} B",
+                        truncate(scope, 10)
+                    );
                 }
                 Event::JobBoundary { scope } => {
                     let _ = writeln!(out, "       {:<10} job-launch", truncate(scope, 10));
                 }
                 Event::Broadcast { scope, bytes } => {
-                    let _ = writeln!(out, "       {:<10} broadcast  {bytes} B", truncate(scope, 10));
+                    let _ = writeln!(
+                        out,
+                        "       {:<10} broadcast  {bytes} B",
+                        truncate(scope, 10)
+                    );
                 }
             }
         }
@@ -329,6 +443,15 @@ impl JobMetrics {
             self.total_disk_read(),
             self.job_count(),
             self.total_broadcast_bytes(),
+        );
+        let _ = writeln!(
+            out,
+            "FAULT  {} task failures | {} retries | {} speculative launched | {} speculative won | {:.3} s wasted",
+            self.total_task_failures(),
+            self.total_task_retries(),
+            self.total_speculative_launched(),
+            self.total_speculative_won(),
+            self.total_wasted_task_secs(),
         );
         out
     }
@@ -391,7 +514,13 @@ impl MetricsRegistry {
             .next_stage
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         StageCollector {
-            inner: Mutex::new(StageMetrics::new(id, self.scope(), name.into(), kind, nodes)),
+            inner: Mutex::new(StageMetrics::new(
+                id,
+                self.scope(),
+                name.into(),
+                kind,
+                nodes,
+            )),
         }
     }
 
@@ -548,6 +677,60 @@ mod tests {
         assert!(report.contains("job-launch"));
         assert!(report.contains("broadcast  42 B"));
         assert!(report.contains("TOTAL"));
+    }
+
+    #[test]
+    fn attempt_sink_absorbed_only_on_commit() {
+        let reg = MetricsRegistry::new();
+        let c = reg.begin_stage("s", StageKind::ShuffleMap, 2);
+        // Winning attempt: absorbed.
+        let winner = StageCollector::attempt_sink(2);
+        winner.add_records_computed(10);
+        winner.add_shuffle_write(5, 40);
+        winner.add_shuffle_read(7, 3, 5);
+        c.absorb(winner);
+        // Failed attempt's sink: dropped, never absorbed.
+        let loser = StageCollector::attempt_sink(2);
+        loser.add_records_computed(999);
+        loser.add_shuffle_write(999, 9999);
+        drop(loser);
+        c.record_task(0, 0.1, 5);
+        reg.finish_stage(c);
+        let m = reg.snapshot();
+        let s = m.stages().next().unwrap();
+        assert_eq!(s.records_computed, 10);
+        assert_eq!(s.shuffle_write_records, 5);
+        assert_eq!(s.shuffle_write_bytes, 40);
+        assert_eq!(s.remote_bytes_read, 7);
+        assert_eq!(s.local_bytes_read, 3);
+        assert_eq!(s.shuffle_read_records, 5);
+    }
+
+    #[test]
+    fn run_stats_recorded_and_totalled() {
+        let reg = MetricsRegistry::new();
+        let c = reg.begin_stage("s", StageKind::Result, 1);
+        c.record_run_stats(&RunStats {
+            task_failures: 3,
+            task_retries: 2,
+            speculative_launched: 1,
+            speculative_won: 1,
+            wasted_task_secs: 0.25,
+        });
+        reg.finish_stage(c);
+        let m = reg.snapshot();
+        let s = m.stages().next().unwrap();
+        assert_eq!(s.task_failures, 3);
+        assert_eq!(s.task_retries, 2);
+        assert_eq!(s.speculative_launched, 1);
+        assert_eq!(s.speculative_won, 1);
+        assert!((s.wasted_task_secs - 0.25).abs() < 1e-12);
+        assert_eq!(m.total_task_failures(), 3);
+        assert_eq!(m.total_task_retries(), 2);
+        assert_eq!(m.total_speculative_launched(), 1);
+        assert_eq!(m.total_speculative_won(), 1);
+        let report = m.render_report();
+        assert!(report.contains("FAULT  3 task failures | 2 retries"));
     }
 
     #[test]

@@ -184,10 +184,7 @@ impl<T: Data> Rdd<T> {
     }
 
     /// Applies `f` and flattens the results.
-    pub fn flat_map<U: Data>(
-        &self,
-        f: impl Fn(T) -> Vec<U> + Send + Sync + 'static,
-    ) -> Rdd<U> {
+    pub fn flat_map<U: Data>(&self, f: impl Fn(T) -> Vec<U> + Send + Sync + 'static) -> Rdd<U> {
         Rdd::from_node(
             self.cluster.clone(),
             Arc::new(nodes::FlatMapNode::new(self.node.clone(), f)),
@@ -226,11 +223,14 @@ impl<T: Data> Rdd<T> {
     /// `fraction`, using a per-partition RNG derived from `seed` so the
     /// result is reproducible and independent of execution order.
     pub fn sample(&self, fraction: f64, seed: u64) -> Rdd<T> {
-        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1]"
+        );
         self.map_partitions(move |partition, data| {
             // SplitMix64 stream seeded per partition: cheap, reproducible.
-            let mut state = seed
-                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(partition as u64 + 1));
+            let mut state =
+                seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(partition as u64 + 1));
             let mut next = move || {
                 state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
                 let mut z = state;
@@ -348,10 +348,11 @@ impl<T: Data> Rdd<T> {
 
     /// Computes and returns all records, in partition order.
     pub fn collect(&self) -> Vec<T> {
-        let parts = self
-            .cluster
-            .clone()
-            .run_job(&self.node, &format!("collect({})", self.node.name()), |_, d| d);
+        let parts = self.cluster.clone().run_job(
+            &self.node,
+            &format!("collect({})", self.node.name()),
+            |_, d| d,
+        );
         parts.into_iter().flatten().collect()
     }
 
@@ -359,9 +360,11 @@ impl<T: Data> Rdd<T> {
     pub fn count(&self) -> u64 {
         self.cluster
             .clone()
-            .run_job(&self.node, &format!("count({})", self.node.name()), |_, d| {
-                d.len() as u64
-            })
+            .run_job(
+                &self.node,
+                &format!("count({})", self.node.name()),
+                |_, d| d.len() as u64,
+            )
             .into_iter()
             .sum()
     }

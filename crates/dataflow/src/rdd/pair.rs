@@ -19,6 +19,14 @@ use crate::size::EstimateSize;
 use crate::{Data, Key};
 use std::sync::Arc;
 
+/// Element type produced by [`Rdd::cogroup`]: per distinct key, all values
+/// from the left side and all values from the right side.
+pub type CoGrouped<K, V, W> = (K, (Vec<V>, Vec<W>));
+
+/// Element type produced by [`Rdd::full_outer_join`]: per key, `None`
+/// fills whichever side lacks the key.
+pub type FullOuterJoined<K, V, W> = (K, (Option<V>, Option<W>));
+
 /// How shuffled values are combined into combiners (Spark's `Aggregator`).
 pub struct Aggregator<V, C> {
     /// Lifts a single value into a combiner.
@@ -162,49 +170,61 @@ where
         );
         // Recovery path: compute only the map outputs that are missing
         // (all of them on first materialization).
-        let missing = cluster.shuffle_service().missing_map_outputs(self.shuffle_id);
+        let missing = cluster
+            .shuffle_service()
+            .missing_map_outputs(self.shuffle_id);
         let stage_name = format!("shuffle-map({})", self.name);
-        cluster.run_shuffle_map_stage(&self.parent, &stage_name, missing, |map_partition, data, stage| {
-            let buckets: Vec<Vec<(K, C)>> = if self.map_side_combine {
-                let mut maps: Vec<FxHashMap<K, C>> =
-                    (0..num_reduce).map(|_| FxHashMap::default()).collect();
-                for (k, v) in data {
-                    let b = self.partitioner.partition_of(&k);
-                    match maps[b].remove(&k) {
-                        Some(c) => {
-                            let merged = (self.aggregator.merge_value)(c, v);
-                            maps[b].insert(k, merged);
-                        }
-                        None => {
-                            maps[b].insert(k, (self.aggregator.create)(v));
+        // Bucketing runs inside the (retryable) task; registration of the
+        // map output happens on the driver, only for the winning attempt.
+        cluster.run_shuffle_map_stage(
+            &self.parent,
+            &stage_name,
+            missing,
+            |_map_partition, data| {
+                let buckets: Vec<Vec<(K, C)>> = if self.map_side_combine {
+                    let mut maps: Vec<FxHashMap<K, C>> =
+                        (0..num_reduce).map(|_| FxHashMap::default()).collect();
+                    for (k, v) in data {
+                        let b = self.partitioner.partition_of(&k);
+                        match maps[b].remove(&k) {
+                            Some(c) => {
+                                let merged = (self.aggregator.merge_value)(c, v);
+                                maps[b].insert(k, merged);
+                            }
+                            None => {
+                                maps[b].insert(k, (self.aggregator.create)(v));
+                            }
                         }
                     }
-                }
-                maps.into_iter().map(|m| m.into_iter().collect()).collect()
-            } else {
-                let mut buckets: Vec<Vec<(K, C)>> =
-                    (0..num_reduce).map(|_| Vec::new()).collect();
-                for (k, v) in data {
-                    let b = self.partitioner.partition_of(&k);
-                    let c = (self.aggregator.create)(v);
-                    buckets[b].push((k, c));
-                }
-                buckets
-            };
-            let bucket_bytes: Vec<u64> = buckets
-                .iter()
-                .map(|b| b.iter().map(|r| r.estimate_size() as u64).sum())
-                .collect();
-            let records: u64 = buckets.iter().map(|b| b.len() as u64).sum();
-            let bytes: u64 = bucket_bytes.iter().sum();
-            stage.add_shuffle_write(records, bytes);
-            cluster.shuffle_service().put_map_output(
-                self.shuffle_id,
-                map_partition,
-                buckets,
-                bucket_bytes,
-            );
-        });
+                    maps.into_iter().map(|m| m.into_iter().collect()).collect()
+                } else {
+                    let mut buckets: Vec<Vec<(K, C)>> =
+                        (0..num_reduce).map(|_| Vec::new()).collect();
+                    for (k, v) in data {
+                        let b = self.partitioner.partition_of(&k);
+                        let c = (self.aggregator.create)(v);
+                        buckets[b].push((k, c));
+                    }
+                    buckets
+                };
+                let bucket_bytes: Vec<u64> = buckets
+                    .iter()
+                    .map(|b| b.iter().map(|r| r.estimate_size() as u64).sum())
+                    .collect();
+                (buckets, bucket_bytes)
+            },
+            |map_partition, (buckets, bucket_bytes), stage| {
+                let records: u64 = buckets.iter().map(|b| b.len() as u64).sum();
+                let bytes: u64 = bucket_bytes.iter().sum();
+                stage.add_shuffle_write(records, bytes);
+                cluster.shuffle_service().put_map_output(
+                    self.shuffle_id,
+                    map_partition,
+                    buckets,
+                    bucket_bytes,
+                );
+            },
+        );
     }
 
     fn parent_info(&self) -> Arc<dyn NodeInfo> {
@@ -317,7 +337,7 @@ where
         for (k, w) in self.right.read(partition, ctx) {
             groups.entry(k).or_default().1.push(w);
         }
-        let out: Vec<(K, (Vec<V>, Vec<W>))> = groups.into_iter().collect();
+        let out: Vec<CoGrouped<K, V, W>> = groups.into_iter().collect();
         ctx.stage.add_records_computed(out.len() as u64);
         out
     }
@@ -464,10 +484,7 @@ where
 
     /// Co-groups with `other`: one output record per distinct key, holding
     /// all values from each side.
-    pub fn cogroup<W: Data + EstimateSize>(
-        &self,
-        other: &Rdd<(K, W)>,
-    ) -> Rdd<(K, (Vec<V>, Vec<W>))> {
+    pub fn cogroup<W: Data + EstimateSize>(&self, other: &Rdd<(K, W)>) -> Rdd<CoGrouped<K, V, W>> {
         self.cogroup_with(other, self.default_partitions())
     }
 
@@ -476,7 +493,7 @@ where
         &self,
         other: &Rdd<(K, W)>,
         partitions: usize,
-    ) -> Rdd<(K, (Vec<V>, Vec<W>))> {
+    ) -> Rdd<CoGrouped<K, V, W>> {
         let partitioner: Arc<dyn KeyPartitioner<K>> = Arc::new(HashPartitioner::new(partitions));
         let left = Arc::new(ShuffleDep::new(
             &self.cluster,
@@ -527,15 +544,16 @@ where
         other: &Rdd<(K, W)>,
         partitions: usize,
     ) -> Rdd<(K, (V, W))> {
-        self.cogroup_with(other, partitions).flat_map(|(k, (vs, ws))| {
-            let mut out = Vec::with_capacity(vs.len() * ws.len());
-            for v in &vs {
-                for w in &ws {
-                    out.push((k.clone(), (v.clone(), w.clone())));
+        self.cogroup_with(other, partitions)
+            .flat_map(|(k, (vs, ws))| {
+                let mut out = Vec::with_capacity(vs.len() * ws.len());
+                for v in &vs {
+                    for w in &ws {
+                        out.push((k.clone(), (v.clone(), w.clone())));
+                    }
                 }
-            }
-            out
-        })
+                out
+            })
     }
 
     /// Left outer join: every left record appears; the right side is
@@ -564,7 +582,7 @@ where
     pub fn full_outer_join<W: Data + EstimateSize>(
         &self,
         other: &Rdd<(K, W)>,
-    ) -> Rdd<(K, (Option<V>, Option<W>))> {
+    ) -> Rdd<FullOuterJoined<K, V, W>> {
         self.cogroup(other).flat_map(|(k, (vs, ws))| {
             let mut out = Vec::new();
             match (vs.is_empty(), ws.is_empty()) {
@@ -731,16 +749,14 @@ where
         let sample: Vec<K> = self
             .map_partitions(move |_, data| {
                 let step = (data.len() / per_part).max(1);
-                data.into_iter()
-                    .step_by(step)
-                    .map(|(k, _)| k)
-                    .collect()
+                data.into_iter().step_by(step).map(|(k, _)| k).collect()
             })
             .collect();
         let partitioner = RangePartitioner::from_sample(sample, partitions);
-        self.partition_by_range(partitioner).map_partitions(|_, mut data| {
-            data.sort_by(|a, b| a.0.cmp(&b.0));
-            data
-        })
+        self.partition_by_range(partitioner)
+            .map_partitions(|_, mut data| {
+                data.sort_by(|a, b| a.0.cmp(&b.0));
+                data
+            })
     }
 }

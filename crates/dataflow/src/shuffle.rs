@@ -74,6 +74,12 @@ impl ShuffleService {
             .unwrap_or_else(|| panic!("shuffle {shuffle_id} not registered"));
         assert_eq!(buckets.len(), data.num_reduce, "bucket count mismatch");
         assert_eq!(bucket_bytes.len(), data.num_reduce);
+        // First writer wins: the scheduler only commits winning attempts,
+        // but stay idempotent so a racing duplicate can never clobber an
+        // output a reducer may already be reading.
+        if data.map_outputs[map_partition].is_some() {
+            return;
+        }
         let bucket_records = buckets.iter().map(|b| b.len() as u64).collect();
         data.map_outputs[map_partition] = Some(MapOutput {
             buckets: Box::new(buckets),

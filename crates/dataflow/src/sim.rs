@@ -10,9 +10,11 @@
 //! The model is deliberately simple and fully documented:
 //!
 //! ```text
-//! stage_time = work_scale · (cpu + network) + overhead
+//! stage_time = work_scale · (cpu + network) + overhead + recovery
 //!   network  = remote_bytes_read / (network_bw_per_node × nodes)
 //!   overhead = stage_latency + per_node_overhead × nodes
+//!   recovery = retry_overhead × (task_failures + speculative_launched)
+//!            + wasted_task_secs / core_speed
 //! disk event = work_scale · bytes / (disk_bw_per_node × nodes)
 //! job event  = job_launch_secs
 //!
@@ -37,6 +39,14 @@
 //! and scheduling cost of a barrier across more executors — the effect that
 //! makes the paper's curves flatten between 16 and 32 nodes — and the
 //! remote-bytes term models the shuffle volume CSTF-QCOO reduces.
+//!
+//! The `recovery` term prices fault tolerance: each failed or
+//! speculatively-duplicated attempt pays a fixed re-scheduling cost
+//! (`retry_overhead_secs`), plus the measured wall-clock time of the
+//! discarded attempts themselves. Recovery work rides on spare cluster
+//! capacity rather than growing with the dataset, so `work_scale` does not
+//! multiply it. Fault-free runs have a zero recovery term, leaving the
+//! model's deterministic outputs unchanged.
 //!
 //! `work_scale` reconciles scaled-down datasets with full-scale fixed
 //! overheads: experiments run on tensors `s×` smaller than the paper's
@@ -91,6 +101,10 @@ pub struct TimeModel {
     /// Fixed cost of launching one MapReduce job (Hadoop only; Spark jobs
     /// reuse live executors).
     pub job_launch_secs: f64,
+    /// Fixed re-scheduling cost charged per failed task attempt and per
+    /// speculative launch (detecting the loss, relaunching, refetching
+    /// inputs).
+    pub retry_overhead_secs: f64,
     /// Dataset scale compensation: CPU, network and disk terms are
     /// multiplied by this factor (1.0 = none). See the module docs.
     pub work_scale: f64,
@@ -109,6 +123,7 @@ impl TimeModel {
             stage_latency_secs: 0.3,
             per_node_overhead_secs: 0.1,
             job_launch_secs: 0.0,
+            retry_overhead_secs: 0.3,
             work_scale: 1.0,
             // Calibrated against the paper's 4-node delicious3d point
             // (Figure 2a); see EXPERIMENTS.md.
@@ -131,6 +146,8 @@ impl TimeModel {
             stage_latency_secs: 2.0,
             per_node_overhead_secs: 0.3,
             job_launch_secs: 25.0,
+            // Hadoop restarts a whole JVM for a re-attempted task.
+            retry_overhead_secs: 2.0,
             work_scale: 1.0,
             // Hadoop's per-record path (MR context objects, writable
             // (de)serialization every stage) is costlier than Spark's.
@@ -170,11 +187,7 @@ impl TimeModel {
         let nodes = stage.node_cpu_secs.len().max(1) as f64;
         let cpu = match self.cpu_cost {
             CpuCost::Measured => {
-                let busiest = stage
-                    .node_cpu_secs
-                    .iter()
-                    .cloned()
-                    .fold(0.0f64, f64::max);
+                let busiest = stage.node_cpu_secs.iter().cloned().fold(0.0f64, f64::max);
                 (busiest / self.cores_per_node).max(stage.max_task_secs) / self.core_speed
             }
             CpuCost::Modeled {
@@ -190,7 +203,15 @@ impl TimeModel {
         };
         let network = stage.remote_bytes_read as f64 / (self.network_bw_per_node * nodes);
         let overhead = self.stage_latency_secs + self.per_node_overhead_secs * nodes;
-        self.work_scale * (cpu + network) + overhead
+        self.work_scale * (cpu + network) + overhead + self.recovery_time(stage)
+    }
+
+    /// Simulated seconds a stage spent on fault recovery: fixed relaunch
+    /// overhead per failed/speculative attempt plus the measured time of
+    /// the discarded attempts (see the module docs).
+    pub fn recovery_time(&self, stage: &StageMetrics) -> f64 {
+        self.retry_overhead_secs * (stage.task_failures + stage.speculative_launched) as f64
+            + stage.wasted_task_secs / self.core_speed
     }
 
     /// Simulated seconds for a disk event on `nodes` nodes.
@@ -240,15 +261,16 @@ impl TimeModel {
                     add(scope, self.disk_time(*bytes, nodes))
                 }
                 Event::JobBoundary { scope } => add(scope, self.job_launch_secs),
-                Event::Broadcast { scope, bytes } => {
-                    add(scope, self.broadcast_time(*bytes, nodes))
-                }
+                Event::Broadcast { scope, bytes } => add(scope, self.broadcast_time(*bytes, nodes)),
             }
         }
-        order.into_iter().map(|k| {
-            let v = agg[&k];
-            (k, v)
-        }).collect()
+        order
+            .into_iter()
+            .map(|k| {
+                let v = agg[&k];
+                (k, v)
+            })
+            .collect()
     }
 }
 
@@ -266,12 +288,7 @@ mod tests {
     use super::*;
     use crate::metrics::{MetricsRegistry, StageKind};
 
-    fn synth_stage(
-        reg: &MetricsRegistry,
-        nodes: usize,
-        cpu_per_node: f64,
-        remote: u64,
-    ) {
+    fn synth_stage(reg: &MetricsRegistry, nodes: usize, cpu_per_node: f64, remote: u64) {
         let c = reg.begin_stage("s", StageKind::ShuffleMap, nodes);
         for n in 0..nodes {
             c.record_task(n, cpu_per_node, 1);
@@ -313,9 +330,12 @@ mod tests {
         // core_ns = 1e6·1000 + (50e6+50e6)·10 = 2e9 ns = 2 core-s over
         // 2 nodes × 24 cores → 2/48 s; network 30e6/(1e9·2) = 0.015;
         // plus stage overhead for 2 nodes.
-        let expect =
-            2.0 / 48.0 + 0.015 + tm.stage_latency_secs + tm.per_node_overhead_secs * 2.0;
-        assert!((tm.stage_time(s) - expect).abs() < 1e-9, "{}", tm.stage_time(s));
+        let expect = 2.0 / 48.0 + 0.015 + tm.stage_latency_secs + tm.per_node_overhead_secs * 2.0;
+        assert!(
+            (tm.stage_time(s) - expect).abs() < 1e-9,
+            "{}",
+            tm.stage_time(s)
+        );
     }
 
     #[test]
@@ -414,6 +434,34 @@ mod tests {
         assert!((scaled_work - 10.0 * base_work).abs() < 1e-9);
         // Disk events scale too.
         assert!((scaled.disk_time(100, 1) - 10.0 * base.disk_time(100, 1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovery_cost_priced_per_failure_and_wasted_second() {
+        use crate::executor::RunStats;
+        let reg = MetricsRegistry::new();
+        let clean = reg.begin_stage("s", StageKind::Result, 2);
+        clean.record_task(0, 1.0, 10);
+        reg.finish_stage(clean);
+        let faulty = reg.begin_stage("s", StageKind::Result, 2);
+        faulty.record_task(0, 1.0, 10);
+        faulty.record_run_stats(&RunStats {
+            task_failures: 2,
+            task_retries: 2,
+            speculative_launched: 1,
+            speculative_won: 0,
+            wasted_task_secs: 0.5,
+        });
+        reg.finish_stage(faulty);
+        let m = reg.snapshot();
+        let stages: Vec<_> = m.stages().collect();
+        let tm = TimeModel::spark();
+        let expect = tm.retry_overhead_secs * 3.0 + 0.5 / tm.core_speed;
+        assert!((tm.recovery_time(stages[1]) - expect).abs() < 1e-12);
+        assert!((tm.stage_time(stages[1]) - tm.stage_time(stages[0]) - expect).abs() < 1e-9);
+        // Recovery is not dataset-scaled.
+        let scaled = TimeModel::spark().with_work_scale(10.0);
+        assert!((scaled.recovery_time(stages[1]) - expect).abs() < 1e-12);
     }
 
     #[test]

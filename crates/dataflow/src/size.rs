@@ -160,7 +160,10 @@ mod tests {
     #[test]
     fn references_and_arcs_are_transparent() {
         let v = vec![1u32, 2];
-        assert_eq!((&v).estimate_size(), v.estimate_size());
+        // Call through the blanket `&T` impl explicitly (plain method
+        // syntax would auto-deref straight to the `Vec` impl).
+        let r = &v;
+        assert_eq!(EstimateSize::estimate_size(&r), v.estimate_size());
         let a = std::sync::Arc::new(3.0f64);
         assert_eq!(a.estimate_size(), 8);
     }

@@ -230,7 +230,10 @@ fn keys_values_map_values() {
 #[test]
 fn key_by_assigns_keys() {
     let c = cluster();
-    let got = c.parallelize(vec![10u32, 25], 1).key_by(|x| x % 10).collect();
+    let got = c
+        .parallelize(vec![10u32, 25], 1)
+        .key_by(|x| x % 10)
+        .collect();
     assert_eq!(got, vec![(0, 10), (5, 25)]);
 }
 
@@ -332,18 +335,23 @@ fn remote_local_split_depends_on_node_count() {
     let data: Vec<(u32, u64)> = (0..4000).map(|i| (i, i as u64)).collect();
 
     let c1 = Cluster::new(ClusterConfig::local(4).nodes(1).default_parallelism(16));
-    let _ = c1.parallelize(data.clone(), 16).reduce_by_key(|a, b| a + b).collect();
+    let _ = c1
+        .parallelize(data.clone(), 16)
+        .reduce_by_key(|a, b| a + b)
+        .collect();
     let m1 = c1.metrics().snapshot();
     assert!(m1.total_shuffle_bytes() > 0);
     assert_eq!(m1.total_remote_bytes(), 0, "single node must be all-local");
 
     let c8 = Cluster::new(ClusterConfig::local(4).nodes(8).default_parallelism(16));
-    let _ = c8.parallelize(data, 16).reduce_by_key(|a, b| a + b).collect();
+    let _ = c8
+        .parallelize(data, 16)
+        .reduce_by_key(|a, b| a + b)
+        .collect();
     let m8 = c8.metrics().snapshot();
     assert!(m8.total_remote_bytes() > 0);
     // Uniform hashing: expect ~7/8 of traffic remote.
-    let remote_frac =
-        m8.total_remote_bytes() as f64 / m8.total_shuffle_bytes() as f64;
+    let remote_frac = m8.total_remote_bytes() as f64 / m8.total_shuffle_bytes() as f64;
     assert!(
         (0.7..1.0).contains(&remote_frac),
         "remote fraction {remote_frac}"
@@ -381,7 +389,7 @@ fn shuffle_write_records_match_input() {
         .unwrap();
     assert_eq!(s.shuffle_write_records, 123);
     assert_eq!(s.shuffle_write_bytes, 123 * 8); // (u32, u32) records
-    // Read side saw every written byte exactly once.
+                                                // Read side saw every written byte exactly once.
     let read: u64 = m.stages().map(|s| s.shuffle_read_bytes()).sum();
     assert_eq!(read, 123 * 8);
 }

@@ -1,0 +1,176 @@
+//! Stress tests for the fault-aware executor: hundreds of tasks on many
+//! threads with injected panics, verifying exactly-once commit semantics,
+//! task-order-preserving results, and clean abort on retry exhaustion.
+
+use cstf_dataflow::executor::{Executor, RunPolicy, SpeculationPolicy};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+#[test]
+fn hundreds_of_tasks_with_injected_panics_commit_exactly_once() {
+    const TASKS: usize = 400;
+    let ex = Executor::new(16);
+    let commits: Vec<AtomicUsize> = (0..TASKS).map(|_| AtomicUsize::new(0)).collect();
+    let attempts_seen = AtomicU64::new(0);
+
+    let tasks: Vec<_> = (0..TASKS)
+        .map(|i| {
+            let commits = &commits;
+            let attempts_seen = &attempts_seen;
+            move |attempt: usize| {
+                attempts_seen.fetch_add(1, Ordering::Relaxed);
+                // Deterministic carnage: every third task panics on its
+                // first attempt, every 50th also on its second.
+                if i % 3 == 0 && attempt == 0 {
+                    panic!("task {i} dies on attempt 0");
+                }
+                if i % 50 == 0 && attempt == 1 {
+                    panic!("task {i} dies on attempt 1");
+                }
+                commits[i].fetch_add(1, Ordering::Relaxed);
+                Ok(i * 7)
+            }
+        })
+        .collect();
+
+    let (out, stats) = ex.run_fallible(tasks, &RunPolicy::default()).unwrap();
+
+    // Results preserve task order despite retries and work stealing.
+    assert_eq!(out, (0..TASKS).map(|i| i * 7).collect::<Vec<_>>());
+    // Every task's success body ran exactly once (no speculation here, so
+    // a successful attempt is unique).
+    for (i, c) in commits.iter().enumerate() {
+        assert_eq!(c.load(Ordering::Relaxed), 1, "task {i} committed twice");
+    }
+    // Expected failures: attempt-0 panics for i % 3 == 0, and attempt-1
+    // panics only for tasks that actually reached attempt 1 (i % 3 == 0)
+    // and also satisfy i % 50 == 0.
+    let attempt0_panics = (0..TASKS).filter(|i| i % 3 == 0).count() as u64;
+    let attempt1_panics = (0..TASKS).filter(|i| i % 3 == 0 && i % 50 == 0).count() as u64;
+    assert_eq!(stats.task_failures, attempt0_panics + attempt1_panics);
+    assert_eq!(stats.task_retries, stats.task_failures);
+    assert_eq!(
+        attempts_seen.load(Ordering::Relaxed),
+        TASKS as u64 + stats.task_failures
+    );
+}
+
+#[test]
+fn retry_exhaustion_aborts_cleanly_without_hanging() {
+    // A task that fails on every attempt must surface a TaskError after
+    // exactly max_attempts tries — and the scope must unwind without
+    // deadlocking the remaining workers (this test finishing is the
+    // assertion that no scope hangs).
+    let ex = Executor::new(8);
+    let doomed_attempts = AtomicUsize::new(0);
+    let tasks: Vec<_> = (0..200)
+        .map(|i| {
+            let doomed_attempts = &doomed_attempts;
+            move |_attempt: usize| {
+                if i == 113 {
+                    doomed_attempts.fetch_add(1, Ordering::Relaxed);
+                    panic!("task 113 is doomed");
+                }
+                Ok(i)
+            }
+        })
+        .collect();
+    let err = ex
+        .run_fallible(
+            tasks,
+            &RunPolicy {
+                max_attempts: 3,
+                speculation: None,
+            },
+        )
+        .unwrap_err();
+    assert_eq!(err.task, 113);
+    assert_eq!(err.attempts, 3);
+    assert!(err.message.contains("doomed"));
+    assert_eq!(doomed_attempts.load(Ordering::Relaxed), 3);
+}
+
+#[test]
+fn mixed_panics_and_error_returns_across_many_threads() {
+    let ex = Executor::new(12);
+    let tasks: Vec<_> = (0..300)
+        .map(|i| {
+            move |attempt: usize| match (i % 5, attempt) {
+                (0, 0) => Err(format!("task {i} soft-fails first")),
+                (1, 0) => panic!("task {i} hard-fails first"),
+                _ => Ok(i as u64 * 2),
+            }
+        })
+        .collect();
+    let (out, stats) = ex.run_fallible(tasks, &RunPolicy::default()).unwrap();
+    assert_eq!(out, (0..300).map(|i| i as u64 * 2).collect::<Vec<_>>());
+    assert_eq!(stats.task_failures, 120); // 60 soft + 60 hard
+    assert_eq!(stats.task_retries, 120);
+}
+
+#[test]
+fn speculative_duplicates_never_double_commit() {
+    // Several stragglers sleep on their first attempt only; speculation
+    // launches backups. Whoever wins, the observable result must be the
+    // deterministic task value, committed exactly once per task.
+    let ex = Executor::new(8);
+    let commits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+    let tasks: Vec<_> = (0..64)
+        .map(|i| {
+            let commits = &commits;
+            move |attempt: usize| {
+                if i % 16 == 3 && attempt == 0 {
+                    std::thread::sleep(Duration::from_millis(300));
+                }
+                commits[i].fetch_add(1, Ordering::Relaxed);
+                Ok(i as u32 + 1000)
+            }
+        })
+        .collect();
+    let policy = RunPolicy {
+        max_attempts: 4,
+        speculation: Some(SpeculationPolicy {
+            multiplier: 1.5,
+            min_task_secs: 0.02,
+        }),
+    };
+    let (out, stats) = ex.run_fallible(tasks, &policy).unwrap();
+    assert_eq!(out, (0..64).map(|i| i as u32 + 1000).collect::<Vec<_>>());
+    assert!(stats.speculative_launched >= 1, "stragglers must speculate");
+    assert!(stats.speculative_won <= stats.speculative_launched);
+    // A task body may run twice (original + backup) but the *commit* is
+    // first-writer-wins: results were asserted identical above, and no
+    // task may run more than once plus its single backup.
+    for (i, c) in commits.iter().enumerate() {
+        assert!(c.load(Ordering::Relaxed) <= 2, "task {i} ran >2 times");
+    }
+}
+
+#[test]
+fn failure_after_speculative_win_does_not_abort() {
+    // The straggler's original attempt panics *after* the backup already
+    // committed; the late failure must be ignored, not counted against
+    // the retry budget in a way that aborts the batch.
+    let ex = Executor::new(4);
+    let tasks: Vec<_> = (0..8)
+        .map(|i| {
+            move |attempt: usize| {
+                if i == 2 && attempt == 0 {
+                    std::thread::sleep(Duration::from_millis(250));
+                    panic!("original attempt dies after losing the race");
+                }
+                Ok(i)
+            }
+        })
+        .collect();
+    let policy = RunPolicy {
+        max_attempts: 1, // any counted failure would abort the batch
+        speculation: Some(SpeculationPolicy {
+            multiplier: 1.5,
+            min_task_secs: 0.02,
+        }),
+    };
+    let (out, stats) = ex.run_fallible(tasks, &policy).unwrap();
+    assert_eq!(out, (0..8).collect::<Vec<_>>());
+    assert_eq!(stats.speculative_won, 1);
+}

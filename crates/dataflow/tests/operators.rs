@@ -29,13 +29,18 @@ fn sort_by_key_produces_globally_sorted_output() {
 fn sort_by_key_handles_skewed_and_tiny_inputs() {
     let c = cluster();
     // Heavy duplication of one key.
-    let data: Vec<(u32, u8)> = (0..200).map(|i| (if i % 3 == 0 { 5 } else { i }, 0)).collect();
+    let data: Vec<(u32, u8)> = (0..200)
+        .map(|i| (if i % 3 == 0 { 5 } else { i }, 0))
+        .collect();
     let sorted = c.parallelize(data, 5).sort_by_key(4).collect();
     for w in sorted.windows(2) {
         assert!(w[0].0 <= w[1].0);
     }
     // Empty input.
-    let empty = c.parallelize(Vec::<(u32, u8)>::new(), 3).sort_by_key(4).collect();
+    let empty = c
+        .parallelize(Vec::<(u32, u8)>::new(), 3)
+        .sort_by_key(4)
+        .collect();
     assert!(empty.is_empty());
     // Single record.
     let one = c.parallelize(vec![(9u32, 1u8)], 2).sort_by_key(4).collect();

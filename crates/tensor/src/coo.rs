@@ -572,10 +572,7 @@ mod tests {
         .unwrap();
         t.sort_lexicographic();
         let coords: Vec<Vec<u32>> = (0..4).map(|z| t.coord(z).to_vec()).collect();
-        assert_eq!(
-            coords,
-            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]
-        );
+        assert_eq!(coords, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
     }
 
     #[test]
@@ -593,15 +590,10 @@ mod tests {
         .unwrap();
         t.sum_duplicates();
         assert_eq!(t.nnz(), 3);
-        let entries: Vec<(Vec<u32>, f64)> =
-            t.iter().map(|(c, v)| (c.to_vec(), v)).collect();
+        let entries: Vec<(Vec<u32>, f64)> = t.iter().map(|(c, v)| (c.to_vec(), v)).collect();
         assert_eq!(
             entries,
-            vec![
-                (vec![0, 0], 1.0),
-                (vec![1, 1], 4.0),
-                (vec![2, 2], 4.0)
-            ]
+            vec![(vec![0, 0], 1.0), (vec![1, 1], 4.0), (vec![2, 2], 4.0)]
         );
     }
 

@@ -199,9 +199,14 @@ impl CsfTensor {
         let n = self.order();
         let mut out = CooTensor::with_capacity(self.shape.clone(), self.nnz());
         let mut coord = vec![0u32; n];
-        self.walk(0, 0..self.levels[0].indices.len(), &mut coord, &mut |coord, v| {
-            out.push(coord, v).expect("CSF coordinates in bounds");
-        });
+        self.walk(
+            0,
+            0..self.levels[0].indices.len(),
+            &mut coord,
+            &mut |coord, v| {
+                out.push(coord, v).expect("CSF coordinates in bounds");
+            },
+        );
         out
     }
 
@@ -302,7 +307,6 @@ impl CsfTensor {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {

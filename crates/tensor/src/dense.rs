@@ -58,7 +58,11 @@ impl DenseMatrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        DenseMatrix { rows: r, cols: c, data }
+        DenseMatrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Wraps an existing row-major buffer.
@@ -227,7 +231,12 @@ impl DenseMatrix {
                 self.rows, self.cols, other.rows, other.cols
             )));
         }
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
         Ok(DenseMatrix {
             rows: self.rows,
             cols: self.cols,
@@ -243,7 +252,12 @@ impl DenseMatrix {
                 self.rows, self.cols, other.rows, other.cols
             )));
         }
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
         Ok(DenseMatrix {
             rows: self.rows,
             cols: self.cols,

@@ -142,7 +142,9 @@ impl DimTree {
             )));
         }
         if mode >= self.tensor.order() {
-            return Err(TensorError::ShapeMismatch(format!("mode {mode} out of range")));
+            return Err(TensorError::ShapeMismatch(format!(
+                "mode {mode} out of range"
+            )));
         }
         for (m, f) in factors.iter().enumerate() {
             if f.cols() != self.rank || f.rows() != self.tensor.shape()[m] as usize {
@@ -376,7 +378,10 @@ mod tests {
 
     #[test]
     fn reuse_within_an_iteration() {
-        let t = RandomTensor::new(vec![10, 9, 8, 7]).nnz(100).seed(4).build();
+        let t = RandomTensor::new(vec![10, 9, 8, 7])
+            .nnz(100)
+            .seed(4)
+            .build();
         let factors = factors_for(&t, 2, 5);
         let mut tree = DimTree::new(t, 2).unwrap();
         let _ = tree.mttkrp(&factors, 0).unwrap();
@@ -432,7 +437,9 @@ mod tests {
             fits.last().unwrap()
         );
         for w in fits.windows(2) {
-            assert!(w[1] >= w[0] - 1e-8);
+            // Once the exactly-representable tensor is recovered, fit sits at
+            // ~1.0 and the residual norm cancels to ~1e-8 of jitter.
+            assert!(w[1] >= w[0] - 1e-6);
         }
     }
 

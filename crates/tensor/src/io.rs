@@ -168,7 +168,10 @@ mod tests {
 
     #[test]
     fn file_roundtrip() {
-        let t = crate::random::RandomTensor::new(vec![5, 5]).nnz(10).seed(6).build();
+        let t = crate::random::RandomTensor::new(vec![5, 5])
+            .nnz(10)
+            .seed(6)
+            .build();
         let dir = std::env::temp_dir().join("cstf_io_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("t.tns");

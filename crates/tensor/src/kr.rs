@@ -68,11 +68,7 @@ pub fn kronecker(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
             }
             for ib in 0..b.rows() {
                 for jb in 0..b.cols() {
-                    out.set(
-                        ia * b.rows() + ib,
-                        ja * b.cols() + jb,
-                        s * b.get(ib, jb),
-                    );
+                    out.set(ia * b.rows() + ib, ja * b.cols() + jb, s * b.get(ib, jb));
                 }
             }
         }
@@ -130,9 +126,9 @@ mod tests {
         // Spot-check one element: row (i,j,l) = i*12 + j*4 + l.
         let (i, j, l) = (1, 2, 3);
         let row = k.row(i * 12 + j * 4 + l);
-        for r in 0..2 {
+        for (r, &got) in row.iter().enumerate().take(2) {
             let expect = a.get(i, r) * b.get(j, r) * c.get(l, r);
-            assert!((row[r] - expect).abs() < 1e-14);
+            assert!((got - expect).abs() < 1e-14);
         }
     }
 

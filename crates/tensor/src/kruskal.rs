@@ -263,7 +263,9 @@ mod tests {
             .iter()
             .map(|&s| DenseMatrix::random(s as usize, rank, &mut rng))
             .collect();
-        let weights = (0..rank).map(|_| 1.0 + rand::Rng::gen::<f64>(&mut rng)).collect();
+        let weights = (0..rank)
+            .map(|_| 1.0 + rand::Rng::gen::<f64>(&mut rng))
+            .collect();
         KruskalTensor::new(weights, factors).unwrap()
     }
 
@@ -295,7 +297,10 @@ mod tests {
     #[test]
     fn inner_product_matches_dense() {
         let k = random_kruskal(&[3, 4, 2], 2, 10);
-        let x = crate::random::RandomTensor::new(vec![3, 4, 2]).nnz(10).seed(4).build();
+        let x = crate::random::RandomTensor::new(vec![3, 4, 2])
+            .nnz(10)
+            .seed(4)
+            .build();
         let inner = k.inner_with(&x).unwrap();
         let manual: f64 = x.iter().map(|(c, v)| v * k.eval(c)).sum();
         assert!((inner - manual).abs() < 1e-12);

@@ -69,7 +69,11 @@ pub enum TensorError {
 impl std::fmt::Display for TensorError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TensorError::IndexOutOfBounds { mode, index, extent } => write!(
+            TensorError::IndexOutOfBounds {
+                mode,
+                index,
+                extent,
+            } => write!(
                 f,
                 "index {index} out of bounds for mode {mode} with extent {extent}"
             ),

@@ -73,11 +73,7 @@ pub fn unfold_strides(shape: &[u32], mode: usize) -> Vec<u64> {
 
 /// Column index of `coord` in the mode-`n` unfolding.
 pub fn unfold_column(coord: &[u32], strides: &[u64]) -> u64 {
-    coord
-        .iter()
-        .zip(strides)
-        .map(|(&i, &s)| i as u64 * s)
-        .sum()
+    coord.iter().zip(strides).map(|(&i, &s)| i as u64 * s).sum()
 }
 
 /// Mode-`n` matricization `X₍ₙ₎` of a COO tensor.

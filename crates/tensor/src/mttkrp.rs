@@ -117,7 +117,10 @@ pub fn mttkrp_parallel(
             .iter()
             .map(|chunk| scope.spawn(move || mttkrp(chunk, factors, mode)))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
     let mut out = DenseMatrix::zeros(t.shape()[mode] as usize, rank);
     for p in partials {
@@ -192,7 +195,10 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential() {
-        let t = RandomTensor::new(vec![20, 30, 25]).nnz(5000).seed(3).build();
+        let t = RandomTensor::new(vec![20, 30, 25])
+            .nnz(5000)
+            .seed(3)
+            .build();
         let f = factors_for(&t, 4, 11);
         for mode in 0..3 {
             let seq = mttkrp(&t, &refs(&f), mode).unwrap();
@@ -225,7 +231,7 @@ mod tests {
     fn linearity_in_tensor_values() {
         // MTTKRP is linear in X: M(2X) = 2·M(X).
         let t = RandomTensor::new(vec![5, 5, 5]).nnz(25).seed(77).build();
-        let mut t2 = t.clone();
+        let t2 = t.clone();
         for z in 0..t2.nnz() {
             let v = t2.value(z);
             let coord = t2.coord(z).to_vec();

@@ -58,7 +58,12 @@ pub fn ttv(t: &CooTensor, v: &[f64], mode: usize) -> Result<CooTensor> {
             continue;
         }
         coord.clear();
-        coord.extend(c.iter().enumerate().filter(|&(m, _)| m != mode).map(|(_, &i)| i));
+        coord.extend(
+            c.iter()
+                .enumerate()
+                .filter(|&(m, _)| m != mode)
+                .map(|(_, &i)| i),
+        );
         out.push(&coord, val * w)?;
     }
     out.sum_duplicates();
@@ -185,11 +190,8 @@ mod tests {
 
     #[test]
     fn ttv_merges_collisions() {
-        let t = CooTensor::from_entries(
-            vec![2, 2],
-            vec![(vec![0, 0], 1.0), (vec![0, 1], 2.0)],
-        )
-        .unwrap();
+        let t = CooTensor::from_entries(vec![2, 2], vec![(vec![0, 0], 1.0), (vec![0, 1], 2.0)])
+            .unwrap();
         let y = ttv(&t, &[1.0, 1.0], 1).unwrap();
         assert_eq!(y.shape(), &[2]);
         assert_eq!(y.nnz(), 1);
@@ -199,7 +201,7 @@ mod tests {
     #[test]
     fn ttv_with_ones_equals_mode_sum() {
         let t = RandomTensor::new(vec![5, 6, 7]).nnz(60).seed(1).build();
-        let y = ttv(&t, &vec![1.0; 7], 2).unwrap();
+        let y = ttv(&t, &[1.0; 7], 2).unwrap();
         let total: f64 = y.values().iter().sum();
         let expect: f64 = t.values().iter().sum();
         assert!((total - expect).abs() < 1e-10);

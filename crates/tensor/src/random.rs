@@ -246,7 +246,10 @@ pub fn sparse_low_rank_tensor(
     );
     let order = shape.len();
     let work = rank as f64 * (support as f64).powi(order as i32);
-    assert!(work <= 5e7, "sparse_low_rank_tensor too large: {work} entries");
+    assert!(
+        work <= 5e7,
+        "sparse_low_rank_tensor too large: {work} entries"
+    );
 
     let mut rng = StdRng::seed_from_u64(seed);
     let mut factors: Vec<DenseMatrix> = shape
@@ -336,7 +339,10 @@ mod tests {
         let a = RandomTensor::new(vec![20, 20, 20]).nnz(100).seed(9).build();
         let b = RandomTensor::new(vec![20, 20, 20]).nnz(100).seed(9).build();
         assert_eq!(a, b);
-        let c = RandomTensor::new(vec![20, 20, 20]).nnz(100).seed(10).build();
+        let c = RandomTensor::new(vec![20, 20, 20])
+            .nnz(100)
+            .seed(10)
+            .build();
         assert_ne!(a, c);
     }
 

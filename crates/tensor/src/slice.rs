@@ -85,11 +85,7 @@ pub fn range_slice(t: &CooTensor, mode: usize, range: Range<u32>) -> Result<CooT
 
 /// Keeps only nonzeros whose `mode` index satisfies `keep`; the mode
 /// extent is unchanged (a masking filter, not a re-basing).
-pub fn filter_mode(
-    t: &CooTensor,
-    mode: usize,
-    keep: impl Fn(u32) -> bool,
-) -> Result<CooTensor> {
+pub fn filter_mode(t: &CooTensor, mode: usize, keep: impl Fn(u32) -> bool) -> Result<CooTensor> {
     if mode >= t.order() {
         return Err(TensorError::ShapeMismatch(format!(
             "mode {mode} out of range for order-{}",

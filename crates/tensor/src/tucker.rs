@@ -171,12 +171,12 @@ pub fn hosvd(t: &CooTensor, ranks: &[usize]) -> Result<TuckerTensor> {
     let mut g = vec![0usize; order];
     for (coord, v) in t.iter() {
         g.iter_mut().for_each(|x| *x = 0);
-        for slot in 0..core_len {
+        for slot in core.iter_mut() {
             let mut contrib = v;
             for m in 0..order {
                 contrib *= factors[m].get(coord[m] as usize, g[m]);
             }
-            core[slot] += contrib;
+            *slot += contrib;
             for d in (0..order).rev() {
                 g[d] += 1;
                 if g[d] < core_shape[d] {
@@ -226,9 +226,7 @@ mod tests {
         let fit = tk.fit(&t).unwrap();
         assert!(fit > 1.0 - 1e-6, "fit {fit}");
         // Norm preserved under orthonormal transforms.
-        assert!(
-            (tk.norm_squared() - t.norm_squared()).abs() < 1e-6 * t.norm_squared()
-        );
+        assert!((tk.norm_squared() - t.norm_squared()).abs() < 1e-6 * t.norm_squared());
     }
 
     #[test]

@@ -29,7 +29,10 @@ fn main() {
     // per-stage overheads stay as-is (see cstf_dataflow::sim docs).
     let model = TimeModel::spark().with_work_scale(scale);
 
-    println!("\n{:>6} {:>14} {:>14} {:>10}", "nodes", "COO sim(s)", "QCOO sim(s)", "QCOO/COO");
+    println!(
+        "\n{:>6} {:>14} {:>14} {:>10}",
+        "nodes", "COO sim(s)", "QCOO sim(s)", "QCOO/COO"
+    );
     for nodes in [4usize, 8, 16, 32] {
         let mut times = Vec::new();
         for strategy in [Strategy::Coo, Strategy::Qcoo] {

@@ -39,7 +39,10 @@ fn main() {
             let path = dir.join("demo.tns");
             let (tensor, _) = sparse_low_rank_tensor(&[120, 100, 80], 3, 14, 7);
             io::write_tns_file(&tensor, &path).expect("write demo tensor");
-            println!("(no input given — wrote a demo tensor to {})", path.display());
+            println!(
+                "(no input given — wrote a demo tensor to {})",
+                path.display()
+            );
             path
         }
     };
@@ -88,7 +91,12 @@ fn main() {
     for (mode, factor) in result.kruskal.factors.iter().enumerate() {
         let path = dir.join(format!("factor_{mode}.txt"));
         write_matrix(&path, factor).expect("write factor");
-        println!("wrote {} ({}x{})", path.display(), factor.rows(), factor.cols());
+        println!(
+            "wrote {} ({}x{})",
+            path.display(),
+            factor.rows(),
+            factor.cols()
+        );
     }
     let lambda_path = dir.join("lambda.txt");
     let mut f = std::fs::File::create(&lambda_path).expect("create lambda file");

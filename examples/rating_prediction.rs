@@ -26,16 +26,18 @@ const RANK: usize = 4;
 /// vectors plus a seasonal week profile, squashed into the 1–5 range.
 fn synth_ratings(seed: u64) -> CooTensor {
     let mut rng = StdRng::seed_from_u64(seed);
-    let user_taste: Vec<[f64; RANK]> =
-        (0..USERS).map(|_| std::array::from_fn(|_| rng.gen::<f64>())).collect();
-    let item_trait: Vec<[f64; RANK]> =
-        (0..ITEMS).map(|_| std::array::from_fn(|_| rng.gen::<f64>())).collect();
+    let user_taste: Vec<[f64; RANK]> = (0..USERS)
+        .map(|_| std::array::from_fn(|_| rng.gen::<f64>()))
+        .collect();
+    let item_trait: Vec<[f64; RANK]> = (0..ITEMS)
+        .map(|_| std::array::from_fn(|_| rng.gen::<f64>()))
+        .collect();
     let week_mood: Vec<[f64; RANK]> = (0..WEEKS)
         .map(|w| {
             std::array::from_fn(|r| {
-                0.75 + 0.25 * ((w as f64 / WEEKS as f64 + r as f64 / RANK as f64)
-                    * std::f64::consts::TAU)
-                    .sin()
+                0.75 + 0.25
+                    * ((w as f64 / WEEKS as f64 + r as f64 / RANK as f64) * std::f64::consts::TAU)
+                        .sin()
             })
         })
         .collect();

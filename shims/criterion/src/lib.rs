@@ -1,0 +1,180 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! Mirrors the subset of the API used by `crates/bench`: benchmark
+//! groups, `bench_function` / `bench_with_input`, `Bencher::iter`, and
+//! the `criterion_group!` / `criterion_main!` macros. Instead of
+//! statistical sampling it runs each benchmark a fixed small number of
+//! iterations and prints the mean wall-clock time — enough to smoke-run
+//! `cargo bench` without the real crate.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::Instant;
+
+/// Iterations per benchmark (upstream criterion samples adaptively).
+const ITERS: u32 = 10;
+
+/// Top-level harness handle passed to every benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup {
+        println!("group: {name}");
+        BenchmarkGroup { _private: () }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    _private: (),
+}
+
+impl BenchmarkGroup {
+    /// Accepted for compatibility; the shim always runs a fixed number
+    /// of iterations.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { nanos: 0, iters: 0 };
+        f(&mut b);
+        b.report(&id.to_string());
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { nanos: 0, iters: 0 };
+        f(&mut b, input);
+        b.report(&id.to_string());
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` identifier, as upstream.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Identifier carrying only a parameter value, as upstream.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Timing handle: benchmarks call [`Bencher::iter`] with the code under
+/// measurement.
+#[derive(Debug)]
+pub struct Bencher {
+    nanos: u128,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its return value alive via `black_box`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // One warm-up, then the timed runs.
+        hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            hint::black_box(routine());
+        }
+        self.nanos += start.elapsed().as_nanos();
+        self.iters += ITERS;
+    }
+
+    fn report(&self, id: &str) {
+        if self.iters == 0 {
+            println!("  {id}: (no measurement)");
+        } else {
+            let mean = self.nanos as f64 / self.iters as f64 / 1.0e6;
+            println!("  {id}: {mean:.3} ms/iter ({} iters)", self.iters);
+        }
+    }
+}
+
+/// Opaque-to-the-optimizer identity, re-exported for benchmark bodies.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Declares a benchmark group: a function that runs each listed
+/// benchmark function against a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_routine() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut calls = 0u32;
+        group.sample_size(10).bench_function("f", |b| {
+            b.iter(|| calls += 1);
+        });
+        group.bench_with_input(BenchmarkId::new("g", 3), &3u32, |b, &n| {
+            b.iter(|| n * 2);
+        });
+        group.finish();
+        assert_eq!(calls, ITERS + 1);
+        assert_eq!(BenchmarkId::new("f", 42).to_string(), "f/42");
+    }
+}

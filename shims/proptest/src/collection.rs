@@ -1,0 +1,90 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+use std::ops::{Range, RangeInclusive};
+
+/// Size specification accepted by [`vec`]: an exact length or a length
+/// range.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    /// Exclusive upper bound.
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
+    }
+}
+
+/// Strategy producing `Vec`s of values drawn from `element`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.hi - self.size.lo) as u64;
+        let len = self.size.lo
+            + if span > 1 {
+                rng.below(span) as usize
+            } else {
+                0
+            };
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// `Vec` strategy with the given element strategy and size spec
+/// (upstream `prop::collection::vec`).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn sizes_respected() {
+        let mut rng = TestRng::deterministic("collection", 0);
+        let s = vec(any::<u32>(), 0..5);
+        let mut lens = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!(v.len() < 5);
+            lens.insert(v.len());
+        }
+        assert!(lens.len() >= 4, "length range explored");
+        assert_eq!(vec(any::<u8>(), 7).sample(&mut rng).len(), 7);
+        assert_eq!(vec(any::<u8>(), 2..=2).sample(&mut rng).len(), 2);
+    }
+}

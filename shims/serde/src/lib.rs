@@ -1,0 +1,24 @@
+//! Local shim for serde: marker traits plus no-op derives.
+//!
+//! The workspace derives `Serialize` on metrics/report types so they stay
+//! ready for real serialization, but never calls serde at runtime. The
+//! traits here are blanket-implemented markers and the derive macros
+//! (re-exported from the `serde_derive` shim) expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`. Blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize`. Blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Minimal `serde::de` module so `serde::de::DeserializeOwned` bounds
+/// resolve if ever written.
+pub mod de {
+    /// Marker standing in for `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}

@@ -1,0 +1,19 @@
+//! No-op `Serialize`/`Deserialize` derives for the local serde shim.
+//!
+//! The workspace only ever *annotates* types with these derives; nothing
+//! serializes at runtime, so the macros emit no code. The marker traits in
+//! the `serde` shim are blanket-implemented instead.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and generates nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and generates nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -129,7 +129,10 @@ fn tns_roundtrip_then_decompose() {
 /// higher-order support; BIGtensor cannot do this at all).
 #[test]
 fn fifth_order_decomposition() {
-    let tensor = RandomTensor::new(vec![8, 7, 6, 5, 4]).nnz(300).seed(10).build();
+    let tensor = RandomTensor::new(vec![8, 7, 6, 5, 4])
+        .nnz(300)
+        .seed(10)
+        .build();
     for strategy in [Strategy::Coo, Strategy::Qcoo] {
         let cluster = test_cluster(3);
         let res = CpAls::new(2)
@@ -186,7 +189,10 @@ fn sequential_runs_share_cluster_without_leaks() {
     let cluster = test_cluster(4);
     let blocks_before = cluster.block_manager().len();
     for seed in 0..3 {
-        let t = RandomTensor::new(vec![15, 15, 15]).nnz(150).seed(seed).build();
+        let t = RandomTensor::new(vec![15, 15, 15])
+            .nnz(150)
+            .seed(seed)
+            .build();
         let _ = CpAls::new(2)
             .strategy(Strategy::Qcoo)
             .max_iterations(2)

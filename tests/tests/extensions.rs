@@ -30,13 +30,23 @@ fn all_seven_mttkrp_implementations_agree() {
             ("unfolded", mttkrp_unfolded(&t, &refs, mode).unwrap()),
             (
                 "csf",
-                CsfTensor::rooted_at(&t, mode).unwrap().mttkrp_root(&refs).unwrap(),
+                CsfTensor::rooted_at(&t, mode)
+                    .unwrap()
+                    .mttkrp_root(&refs)
+                    .unwrap(),
             ),
             ("dimtree", tree.mttkrp(&factors, mode).unwrap()),
             (
                 "dist-coo",
-                mttkrp_coo(&c, &rdd, &factors, t.shape(), mode, &MttkrpOptions::default())
-                    .unwrap(),
+                mttkrp_coo(
+                    &c,
+                    &rdd,
+                    &factors,
+                    t.shape(),
+                    mode,
+                    &MttkrpOptions::default(),
+                )
+                .unwrap(),
             ),
             (
                 "dist-broadcast",
@@ -126,7 +136,10 @@ fn tucker_and_cp_agree_on_low_rank_data() {
 /// 4th-order tensor equals decomposing the directly-generated window.
 #[test]
 fn slice_then_decompose() {
-    let t = RandomTensor::new(vec![12, 10, 8, 6]).nnz(400).seed(76).build();
+    let t = RandomTensor::new(vec![12, 10, 8, 6])
+        .nnz(400)
+        .seed(76)
+        .build();
     let window = cstf_tensor::slice::range_slice(&t, 3, 2..5).unwrap();
     assert_eq!(window.shape()[3], 3);
     let res = cstf_core::CpAls::new(2)
@@ -144,7 +157,10 @@ fn slice_then_decompose() {
 #[test]
 fn concurrent_decompositions_share_a_cluster() {
     use cstf_core::{CpAls, Strategy};
-    let t1 = RandomTensor::new(vec![12, 11, 10]).nnz(200).seed(81).build();
+    let t1 = RandomTensor::new(vec![12, 11, 10])
+        .nnz(200)
+        .seed(81)
+        .build();
     let t2 = RandomTensor::new(vec![9, 8, 7]).nnz(150).seed(82).build();
 
     let solo = |t: &cstf_tensor::CooTensor| {

@@ -11,7 +11,10 @@ use cstf_tensor::random::RandomTensor;
 use cstf_tensor::{CooTensor, DenseMatrix};
 
 fn tensor() -> CooTensor {
-    RandomTensor::new(vec![15, 12, 10]).nnz(300).seed(51).build()
+    RandomTensor::new(vec![15, 12, 10])
+        .nnz(300)
+        .seed(51)
+        .build()
 }
 
 #[test]
@@ -25,7 +28,11 @@ fn coo_mttkrp_survives_node_failure() {
     c.simulate_node_failure(1);
     let recovered =
         mttkrp_coo(&c, &rdd, &factors, t.shape(), 0, &MttkrpOptions::default()).unwrap();
-    assert_eq!(clean.max_abs_diff(&recovered), 0.0, "bit-identical recovery");
+    assert_eq!(
+        clean.max_abs_diff(&recovered),
+        0.0,
+        "bit-identical recovery"
+    );
 }
 
 #[test]

@@ -13,7 +13,10 @@ use cstf_tensor::random::RandomTensor;
 use cstf_tensor::CooTensor;
 
 fn tensor3(nnz: usize, seed: u64) -> CooTensor {
-    RandomTensor::new(vec![40, 35, 30]).nnz(nnz).seed(seed).build()
+    RandomTensor::new(vec![40, 35, 30])
+        .nnz(nnz)
+        .seed(seed)
+        .build()
 }
 
 /// Table 4 shuffle counts, measured: 4 / 3 / 2 tensor-sized shuffles per
@@ -36,9 +39,8 @@ fn table4_shuffle_counts_all_algorithms() {
         match alg {
             Algorithm::BigTensor => {
                 c.metrics().reset();
-                let _ =
-                    cstf_core::bigtensor::bigtensor_mttkrp(&c, &rdd, &factors, t.shape(), 0, 8)
-                        .unwrap();
+                let _ = cstf_core::bigtensor::bigtensor_mttkrp(&c, &rdd, &factors, t.shape(), 0, 8)
+                    .unwrap();
             }
             Algorithm::CstfCoo => {
                 c.metrics().reset();
