@@ -56,6 +56,7 @@ fn main() {
                     &MttkrpOptions {
                         partitions: Some(32),
                         map_side_combine: combine,
+                        ..MttkrpOptions::default()
                     },
                 )
                 .expect("mttkrp failed");

@@ -7,15 +7,17 @@
 //! factor is only computed once per CP-ALS iteration", §4.2); columns are
 //! normalized after every update with the norms kept as `λ`.
 
-use crate::factors::tensor_to_rdd;
-use crate::mttkrp::{mttkrp_coo, mttkrp_coo_broadcast, MttkrpOptions};
+use crate::factors::{tensor_to_rdd, tensor_to_rdd_partitioned};
+use crate::mttkrp::{join_order, mttkrp_coo, mttkrp_coo_broadcast, mttkrp_coo_pre, MttkrpOptions};
 use crate::qcoo::QcooState;
+use crate::records::CooRecord;
 use crate::{CstfError, Result};
-use cstf_dataflow::Cluster;
+use cstf_dataflow::{Cluster, HashPartitioner, KeyPartitioner, Rdd};
 use cstf_tensor::linalg::solve_normal_equations;
 use cstf_tensor::{CooTensor, DenseMatrix, KruskalTensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Which distributed MTTKRP pipeline CP-ALS uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +41,34 @@ impl std::fmt::Display for Strategy {
     }
 }
 
+/// How aggressively CP-ALS exploits partitioner provenance to skip
+/// shuffles. Every level produces bit-identical factors; they differ only
+/// in how many shuffle-map stages each MTTKRP spawns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partitioning {
+    /// No partitioner awareness — every join shuffles both sides (the
+    /// paper's Table 4 accounting; kept for ablations).
+    None,
+    /// Factor-row RDDs are emitted pre-hashed by the join partitioner, so
+    /// the factor side of every join is narrow. Default.
+    CoPartitionedFactors,
+    /// Additionally keeps the tensor pre-partitioned by each first-join
+    /// mode, making stage 1 of every COO MTTKRP fully narrow. Only the
+    /// `Coo` strategy has a pre-partitioned hot path; other strategies
+    /// fall back to [`Partitioning::CoPartitionedFactors`].
+    PrePartitionedTensor,
+}
+
+impl std::fmt::Display for Partitioning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Partitioning::None => write!(f, "none"),
+            Partitioning::CoPartitionedFactors => write!(f, "co-partitioned-factors"),
+            Partitioning::PrePartitionedTensor => write!(f, "pre-partitioned-tensor"),
+        }
+    }
+}
+
 /// Configurable CP-ALS decomposition (builder style).
 ///
 /// See the crate-level docs for a full example.
@@ -49,6 +79,7 @@ pub struct CpAls {
     tolerance: f64,
     seed: u64,
     strategy: Strategy,
+    partitioning: Partitioning,
     partitions: Option<usize>,
     compute_fit: bool,
     nonnegative: bool,
@@ -67,6 +98,7 @@ impl CpAls {
             tolerance: 0.0,
             seed: 0,
             strategy: Strategy::Qcoo,
+            partitioning: Partitioning::CoPartitionedFactors,
             partitions: None,
             compute_fit: true,
             nonnegative: false,
@@ -98,6 +130,12 @@ impl CpAls {
     /// Selects the MTTKRP pipeline.
     pub fn strategy(mut self, s: Strategy) -> Self {
         self.strategy = s;
+        self
+    }
+
+    /// Selects the partitioner-awareness level (see [`Partitioning`]).
+    pub fn partitioning(mut self, p: Partitioning) -> Self {
+        self.partitioning = p;
         self
     }
 
@@ -164,12 +202,43 @@ impl CpAls {
 
         cluster.metrics().set_scope("Other");
 
+        let co_factors = self.partitioning != Partitioning::None;
+        // The pre-partitioned hot path only exists for the COO pipeline;
+        // QCOO and broadcast fall back to co-partitioned factors.
+        let use_pre = self.partitioning == Partitioning::PrePartitionedTensor
+            && self.strategy == Strategy::Coo;
+
         // Distribute and cache the tensor (reused by every MTTKRP in COO
-        // mode and by the queue initialization in QCOO mode).
-        let tensor_rdd = if self.cache_tensor {
-            tensor_to_rdd(cluster, tensor, partitions).persist_now()
+        // mode and by the queue initialization in QCOO mode). On the
+        // pre-partitioned path the plain record RDD is never joined, so we
+        // skip it and instead keep one keyed copy per first-join mode:
+        // `join_order` starts every mode's pipeline at `order−1` except
+        // mode `order−1` itself, which starts at `order−2`.
+        let tensor_rdd = if use_pre {
+            None
+        } else if self.cache_tensor {
+            Some(tensor_to_rdd(cluster, tensor, partitions).persist_now())
         } else {
-            tensor_to_rdd(cluster, tensor, partitions)
+            Some(tensor_to_rdd(cluster, tensor, partitions))
+        };
+        let pre_keyed: Vec<(usize, Rdd<(u32, CooRecord)>)> = if use_pre {
+            let partitioner: Arc<dyn KeyPartitioner<u32>> =
+                Arc::new(HashPartitioner::new(partitions));
+            [order - 1, order - 2]
+                .into_iter()
+                .map(|key_mode| {
+                    let rdd =
+                        tensor_to_rdd_partitioned(cluster, tensor, key_mode, partitioner.clone());
+                    let rdd = if self.cache_tensor {
+                        rdd.persist_now()
+                    } else {
+                        rdd
+                    };
+                    (key_mode, rdd)
+                })
+                .collect()
+        } else {
+            Vec::new()
         };
 
         // Factor initialization: warm start or seeded random.
@@ -213,13 +282,14 @@ impl CpAls {
 
         // QCOO: build the queued state once (the N-shuffle prologue).
         let mut qstate = match self.strategy {
-            Strategy::Qcoo => Some(QcooState::init(
+            Strategy::Qcoo => Some(QcooState::init_with(
                 cluster,
-                &tensor_rdd,
+                tensor_rdd.as_ref().expect("QCOO never pre-partitions"),
                 &factors,
                 &shape,
                 self.rank,
                 partitions,
+                co_factors,
             )?),
             Strategy::Coo | Strategy::CooBroadcast => None,
         };
@@ -231,28 +301,36 @@ impl CpAls {
         'outer: for _iter in 0..self.max_iterations {
             for mode in 0..order {
                 cluster.metrics().set_scope(format!("MTTKRP-{}", mode + 1));
+                let opts = MttkrpOptions {
+                    partitions: Some(partitions),
+                    co_partition_factors: co_factors,
+                    ..MttkrpOptions::default()
+                };
                 let m = match (&self.strategy, qstate.as_mut()) {
+                    (Strategy::Coo, _) if use_pre => {
+                        let first = join_order(order, mode)[0];
+                        let keyed = pre_keyed
+                            .iter()
+                            .find(|(key_mode, _)| *key_mode == first)
+                            .map(|(_, rdd)| rdd)
+                            .expect("first-join mode is order−1 or order−2");
+                        mttkrp_coo_pre(cluster, keyed, &factors, &shape, mode, &opts)?
+                    }
                     (Strategy::Coo, _) => mttkrp_coo(
                         cluster,
-                        &tensor_rdd,
+                        tensor_rdd.as_ref().expect("COO tensor RDD present"),
                         &factors,
                         &shape,
                         mode,
-                        &MttkrpOptions {
-                            partitions: Some(partitions),
-                            ..MttkrpOptions::default()
-                        },
+                        &opts,
                     )?,
                     (Strategy::CooBroadcast, _) => mttkrp_coo_broadcast(
                         cluster,
-                        &tensor_rdd,
+                        tensor_rdd.as_ref().expect("broadcast tensor RDD present"),
                         &factors,
                         &shape,
                         mode,
-                        &MttkrpOptions {
-                            partitions: Some(partitions),
-                            ..MttkrpOptions::default()
-                        },
+                        &opts,
                     )?,
                     (Strategy::Qcoo, Some(q)) => {
                         debug_assert_eq!(q.next_output_mode(), mode);
@@ -320,7 +398,12 @@ impl CpAls {
         if let Some(q) = &qstate {
             q.release();
         }
-        tensor_rdd.unpersist();
+        if let Some(rdd) = &tensor_rdd {
+            rdd.unpersist();
+        }
+        for (_, rdd) in &pre_keyed {
+            rdd.unpersist();
+        }
         cluster.metrics().clear_scope();
 
         let final_fit = fits.last().copied().unwrap_or(f64::NAN);
@@ -684,6 +767,87 @@ mod tests {
             .warm_start(wrong_shape)
             .run(&cluster(), &t)
             .is_err());
+    }
+
+    #[test]
+    fn partitioning_levels_are_bit_identical() {
+        // The three awareness levels only change *where* records travel,
+        // never their per-partition order — factors must match bit-for-bit.
+        let t = RandomTensor::new(vec![11, 9, 7]).nnz(300).seed(50).build();
+        let run = |p: Partitioning, strategy: Strategy| {
+            let c = cluster();
+            CpAls::new(2)
+                .strategy(strategy)
+                .partitioning(p)
+                .max_iterations(3)
+                .skip_fit()
+                .seed(13)
+                .run(&c, &t)
+                .unwrap()
+                .kruskal
+        };
+        for strategy in [Strategy::Coo, Strategy::Qcoo] {
+            let baseline = run(Partitioning::None, strategy);
+            for level in [
+                Partitioning::CoPartitionedFactors,
+                Partitioning::PrePartitionedTensor,
+            ] {
+                let got = run(level, strategy);
+                for (a, b) in baseline.factors.iter().zip(got.factors.iter()) {
+                    for (x, y) in a.data().iter().zip(b.data().iter()) {
+                        assert_eq!(
+                            x.to_bits(),
+                            y.to_bits(),
+                            "{strategy}/{level} diverged from the shuffled path"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partitioning_levels_reduce_shuffle_stages() {
+        let t = RandomTensor::new(vec![11, 9, 7]).nnz(300).seed(51).build();
+        let shuffles = |p: Partitioning| {
+            let c = cluster();
+            let _ = CpAls::new(2)
+                .strategy(Strategy::Coo)
+                .partitioning(p)
+                .max_iterations(1)
+                .skip_fit()
+                .seed(13)
+                .run(&c, &t)
+                .unwrap();
+            let m = c.metrics().snapshot();
+            (m.shuffle_count(), m.skipped_shuffle_count())
+        };
+        // Order 3, one iteration = 3 MTTKRPs: 5/3/2 raw shuffle-map stages
+        // each (Table 4 vs the narrowed paths).
+        let (none, none_skipped) = shuffles(Partitioning::None);
+        let (co, co_skipped) = shuffles(Partitioning::CoPartitionedFactors);
+        let (pre, pre_skipped) = shuffles(Partitioning::PrePartitionedTensor);
+        assert_eq!(none, 15);
+        assert_eq!(none_skipped, 0);
+        assert_eq!(co, 9);
+        assert_eq!(co_skipped, 6);
+        assert_eq!(pre, 6);
+        assert_eq!(pre_skipped, 9);
+    }
+
+    #[test]
+    fn pre_partitioned_tensor_cache_is_released() {
+        let t = RandomTensor::new(vec![8, 8, 8]).nnz(100).seed(52).build();
+        let c = cluster();
+        let before = c.block_manager().len();
+        let res = CpAls::new(2)
+            .strategy(Strategy::Coo)
+            .partitioning(Partitioning::PrePartitionedTensor)
+            .max_iterations(2)
+            .run(&c, &t)
+            .unwrap();
+        assert!(res.stats.final_fit.is_finite());
+        assert_eq!(c.block_manager().len(), before, "pre-keyed blocks leaked");
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! solves) and the cluster (row-RDD form, for joins against tensor keys).
 
 use crate::records::Row;
-use cstf_dataflow::{Cluster, Rdd};
+use cstf_dataflow::{Cluster, KeyPartitioner, Rdd};
 use cstf_tensor::{CooTensor, DenseMatrix};
+use std::sync::Arc;
 
 use crate::records::CooRecord;
 
@@ -24,6 +25,25 @@ pub fn factor_to_rdd(
         .map(|(i, row)| (i as u32, row.into()))
         .collect();
     cluster.parallelize(rows, partitions)
+}
+
+/// [`factor_to_rdd`], but pre-bucketed by `partitioner` on the driver and
+/// carrying that partitioner as provenance. Joining the result against a
+/// tensor RDD keyed by the same partitioner turns the factor side of the
+/// join into a narrow (zero-shuffle) dependency. Row order within each
+/// bucket matches what a shuffle of [`factor_to_rdd`]'s output would
+/// deliver, so downstream results stay bit-identical.
+pub fn factor_to_rdd_partitioned(
+    cluster: &Cluster,
+    factor: &DenseMatrix,
+    partitioner: Arc<dyn KeyPartitioner<u32>>,
+) -> Rdd<(u32, Row)> {
+    let rows: Vec<(u32, Row)> = factor
+        .rows_iter()
+        .enumerate()
+        .map(|(i, row)| (i as u32, row.into()))
+        .collect();
+    cluster.parallelize_by_key(rows, partitioner)
 }
 
 /// Assembles collected `(row_index, row)` records into a dense `extent × rank`
@@ -53,6 +73,29 @@ pub fn tensor_to_rdd(cluster: &Cluster, tensor: &CooTensor, partitions: usize) -
     cluster
         .parallelize(raw, partitions)
         .map(|(coord, val)| CooRecord { coord, val })
+}
+
+/// Distributes a sparse tensor keyed by `coord[key_mode]`, pre-bucketed by
+/// `partitioner` on the driver — the `pre_partition(mode)` variant of
+/// [`tensor_to_rdd`]. When the first join of an MTTKRP targets `key_mode`
+/// and uses the same partitioner, the tensor side of that join is narrow
+/// too, removing the one remaining tensor-sized shuffle of stage 1 (see
+/// [`crate::mttkrp::mttkrp_coo_pre`]).
+pub fn tensor_to_rdd_partitioned(
+    cluster: &Cluster,
+    tensor: &CooTensor,
+    key_mode: usize,
+    partitioner: Arc<dyn KeyPartitioner<u32>>,
+) -> Rdd<(u32, CooRecord)> {
+    assert!(key_mode < tensor.order(), "key mode out of range");
+    type RawEntry = (u32, (Box<[u32]>, f64));
+    let raw: Vec<RawEntry> = tensor
+        .iter()
+        .map(|(coord, val)| (coord[key_mode], (Box::<[u32]>::from(coord), val)))
+        .collect();
+    cluster
+        .parallelize_by_key(raw, partitioner)
+        .map_values(|(coord, val)| CooRecord { coord, val })
 }
 
 /// Serialized size of a COO tensor on distributed storage: `N` u32 indices

@@ -55,7 +55,7 @@ pub mod qcoo;
 pub mod records;
 
 pub use completion::{CompletionResult, CpCompletion};
-pub use cp_als::{CpAls, CpResult, DecompositionStats, Strategy};
+pub use cp_als::{CpAls, CpResult, DecompositionStats, Partitioning, Strategy};
 pub use records::{CooRecord, QRecord, Row};
 
 /// Errors from distributed decomposition runs.

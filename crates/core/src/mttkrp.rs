@@ -14,15 +14,32 @@
 //! Each join and the final `reduceByKey` shuffles the tensor-sized RDD once:
 //! `N` shuffles per MTTKRP, `N²` per CP-ALS iteration (Table 4). No
 //! unfolding, no Khatri-Rao materialization, no `bin()` pass.
+//!
+//! # Table 4 counts vs the pre-partitioned path
+//!
+//! Table 4's "Shuffles" column counts *tensor-sized* data movements, and
+//! those are unchanged by partitioner-aware scheduling unless the tensor
+//! itself is pre-partitioned: [`cstf_dataflow::JobMetrics::significant_shuffle_count`]
+//! still reports `N` per MTTKRP. What the partitioner machinery removes
+//! first is the *factor-side* shuffle of every join (small, but a full
+//! shuffle-map stage each): with co-partitioned factor RDDs (the default,
+//! [`MttkrpOptions::co_partition_factors`]) an order-3 `mttkrp_coo` drops
+//! from 5 raw shuffle-map stages to 3. Pre-partitioning the tensor by the
+//! first join mode ([`mttkrp_coo_pre`]) additionally removes stage 1's
+//! tensor shuffle — 2 raw stages, and `N−1` tensor-sized shuffles instead
+//! of `N`, strictly better than Table 4's COO row. Results are
+//! bit-identical in every case: buckets receive the same records in the
+//! same order whether they travel through a shuffle or are read narrowly.
 
-use crate::factors::{factor_to_rdd, rows_to_matrix};
+use crate::factors::{factor_to_rdd, factor_to_rdd_partitioned, rows_to_matrix};
 use crate::records::{add_rows, hadamard_rows, scale_row, CooRecord, Row};
 use crate::{CstfError, Result};
-use cstf_dataflow::{Cluster, Rdd};
+use cstf_dataflow::{Cluster, HashPartitioner, KeyPartitioner, Rdd};
 use cstf_tensor::DenseMatrix;
+use std::sync::Arc;
 
 /// Options for one distributed MTTKRP.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct MttkrpOptions {
     /// Shuffle partition count (defaults to the cluster's parallelism).
     pub partitions: Option<usize>,
@@ -30,6 +47,20 @@ pub struct MttkrpOptions {
     /// off here to match the paper's Table 4 accounting — see the
     /// `ablation_combine` experiment).
     pub map_side_combine: bool,
+    /// Emit factor-row RDDs pre-partitioned by the join partitioner so the
+    /// factor side of every join is narrow (no shuffle-map stage). On by
+    /// default: it never changes results, only removes stages.
+    pub co_partition_factors: bool,
+}
+
+impl Default for MttkrpOptions {
+    fn default() -> Self {
+        MttkrpOptions {
+            partitions: None,
+            map_side_combine: false,
+            co_partition_factors: true,
+        }
+    }
 }
 
 fn check(factors: &[DenseMatrix], shape: &[u32], mode: usize) -> Result<usize> {
@@ -82,33 +113,77 @@ pub fn mttkrp_coo(
     opts: &MttkrpOptions,
 ) -> Result<DenseMatrix> {
     let rank = check(factors, shape, mode)?;
+    let joins = join_order(shape.len(), mode);
+    let first = joins[0];
+    let keyed: Rdd<(u32, CooRecord)> = tensor.map(move |rec| (rec.coord[first], rec));
+    mttkrp_coo_keyed(cluster, &keyed, factors, shape, mode, rank, opts)
+}
+
+/// MTTKRP over a tensor RDD already keyed by the *first* join mode
+/// (`join_order(order, mode)[0]`) — the pre-partitioned hot path.
+///
+/// When `keyed` carries partitioner provenance matching the join
+/// partitioner (built with
+/// [`crate::factors::tensor_to_rdd_partitioned`]), stage 1's tensor-sized
+/// shuffle disappears too: with co-partitioned factors an order-3 MTTKRP
+/// runs 2 raw shuffle-map stages (stage-2 re-key + final reduce) instead
+/// of 5. Results are bit-identical to [`mttkrp_coo`].
+pub fn mttkrp_coo_pre(
+    cluster: &Cluster,
+    keyed: &Rdd<(u32, CooRecord)>,
+    factors: &[DenseMatrix],
+    shape: &[u32],
+    mode: usize,
+    opts: &MttkrpOptions,
+) -> Result<DenseMatrix> {
+    let rank = check(factors, shape, mode)?;
+    mttkrp_coo_keyed(cluster, keyed, factors, shape, mode, rank, opts)
+}
+
+fn mttkrp_coo_keyed(
+    cluster: &Cluster,
+    keyed: &Rdd<(u32, CooRecord)>,
+    factors: &[DenseMatrix],
+    shape: &[u32],
+    mode: usize,
+    rank: usize,
+    opts: &MttkrpOptions,
+) -> Result<DenseMatrix> {
     let partitions = opts
         .partitions
         .unwrap_or(cluster.config().default_parallelism);
+    // One shared partitioner threads through every stage; with
+    // `co_partition_factors` the factor side of each join is narrow.
+    let partitioner: Arc<dyn KeyPartitioner<u32>> = Arc::new(HashPartitioner::new(partitions));
+    let factor_rdd_for = |m: usize| -> Rdd<(u32, Row)> {
+        if opts.co_partition_factors {
+            factor_to_rdd_partitioned(cluster, &factors[m], partitioner.clone())
+        } else {
+            factor_to_rdd(cluster, &factors[m], partitions)
+        }
+    };
 
     let joins = join_order(shape.len(), mode);
 
-    // STAGE 1: key by the first join mode and join that factor's rows.
-    let first = joins[0];
-    let keyed: Rdd<(u32, CooRecord)> = tensor.map(move |rec| (rec.coord[first], rec));
-    let factor_rdd = factor_to_rdd(cluster, &factors[first], partitions);
+    // STAGE 1: join the first factor's rows against the keyed tensor.
     // After the join, re-key for the next stage (or the final reduce).
+    let factor_rdd = factor_rdd_for(joins[0]);
     let next_key_mode = *joins.get(1).unwrap_or(&mode);
     let mut state: Rdd<(u32, (CooRecord, Row))> = keyed
-        .join_with(&factor_rdd, partitions)
+        .join_by(&factor_rdd, partitioner.clone())
         .map(move |(_, (rec, row))| (rec.coord[next_key_mode], (rec, row)));
 
     // STAGES 2..N-1: join remaining factors, folding rows into the partial
     // Hadamard product.
     for (idx, &m) in joins.iter().enumerate().skip(1) {
-        let factor_rdd = factor_to_rdd(cluster, &factors[m], partitions);
+        let factor_rdd = factor_rdd_for(m);
         let next_key_mode = *joins.get(idx + 1).unwrap_or(&mode);
-        state = state
-            .join_with(&factor_rdd, partitions)
-            .map(move |(_, ((rec, partial), row))| {
+        state = state.join_by(&factor_rdd, partitioner.clone()).map(
+            move |(_, ((rec, partial), row))| {
                 let combined = hadamard_rows(&partial, &row);
                 (rec.coord[next_key_mode], (rec, combined))
-            });
+            },
+        );
     }
 
     // STAGE N: scale by the tensor value and sum rows per output index.
@@ -271,8 +346,100 @@ mod tests {
         let m = c.metrics().snapshot();
         // Tensor-sized shuffles only (factor-row sides are small).
         assert_eq!(m.significant_shuffle_count(t.nnz() as u64 / 2), 3);
-        // Raw shuffle-map stages: 2 joins × 2 sides + 1 reduce = 5.
+        // Raw shuffle-map stages with co-partitioned factors (default):
+        // the 2 factor-side shuffles are narrow, leaving 2 tensor-side
+        // join shuffles + 1 reduce = 3 (down from 5).
+        assert_eq!(m.shuffle_count(), 3);
+        assert_eq!(m.skipped_shuffle_count(), 2);
+    }
+
+    #[test]
+    fn legacy_path_still_runs_five_stages() {
+        // With co-partitioning disabled the original stage structure is
+        // preserved: 2 joins × 2 sides + 1 reduce = 5 shuffle-map stages.
+        let t = RandomTensor::new(vec![10, 10, 10]).nnz(300).seed(6).build();
+        let c = cluster();
+        let rdd = tensor_to_rdd(&c, &t, 8).persist_now();
+        let factors = random_factors(t.shape(), 2, 1);
+        c.metrics().reset();
+        let opts = MttkrpOptions {
+            co_partition_factors: false,
+            ..MttkrpOptions::default()
+        };
+        let _ = mttkrp_coo(&c, &rdd, &factors, t.shape(), 0, &opts).unwrap();
+        let m = c.metrics().snapshot();
         assert_eq!(m.shuffle_count(), 5);
+        assert_eq!(m.skipped_shuffle_count(), 0);
+    }
+
+    #[test]
+    fn co_partitioned_factors_bit_identical_to_legacy() {
+        let t = RandomTensor::new(vec![14, 11, 9]).nnz(250).seed(21).build();
+        let c = cluster();
+        let rdd = tensor_to_rdd(&c, &t, 8).persist_now();
+        let factors = random_factors(t.shape(), 3, 22);
+        let legacy_opts = MttkrpOptions {
+            co_partition_factors: false,
+            ..MttkrpOptions::default()
+        };
+        for mode in 0..3 {
+            let fast = mttkrp_coo(
+                &c,
+                &rdd,
+                &factors,
+                t.shape(),
+                mode,
+                &MttkrpOptions::default(),
+            )
+            .unwrap();
+            let legacy = mttkrp_coo(&c, &rdd, &factors, t.shape(), mode, &legacy_opts).unwrap();
+            for i in 0..fast.rows() {
+                for (a, b) in fast.row(i).iter().zip(legacy.row(i)) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "mode {mode} row {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pre_partitioned_tensor_runs_two_stages_bit_identically() {
+        use crate::factors::tensor_to_rdd_partitioned;
+        use cstf_dataflow::HashPartitioner;
+        use std::sync::Arc;
+
+        let t = RandomTensor::new(vec![10, 10, 10]).nnz(300).seed(6).build();
+        let c = cluster();
+        let partitions = 8;
+        let mode = 0;
+        let first = join_order(t.order(), mode)[0];
+        let factors = random_factors(t.shape(), 2, 1);
+        let opts = MttkrpOptions {
+            partitions: Some(partitions),
+            ..MttkrpOptions::default()
+        };
+
+        let baseline = {
+            let rdd = tensor_to_rdd(&c, &t, partitions).persist_now();
+            mttkrp_coo(&c, &rdd, &factors, t.shape(), mode, &opts).unwrap()
+        };
+
+        let p: Arc<HashPartitioner> = Arc::new(HashPartitioner::new(partitions));
+        let keyed = tensor_to_rdd_partitioned(&c, &t, first, p).persist_now();
+        c.metrics().reset();
+        let fast = mttkrp_coo_pre(&c, &keyed, &factors, t.shape(), mode, &opts).unwrap();
+        let m = c.metrics().snapshot();
+        // Stage 1 is fully narrow: only the stage-2 re-key and the final
+        // reduce shuffle remain.
+        assert_eq!(m.shuffle_count(), 2);
+        assert_eq!(m.significant_shuffle_count(t.nnz() as u64 / 2), 2);
+        // Skipped: both sides of join 1, plus the factor side of join 2.
+        assert_eq!(m.skipped_shuffle_count(), 3);
+
+        for i in 0..fast.rows() {
+            for (a, b) in fast.row(i).iter().zip(baseline.row(i)) {
+                assert_eq!(a.to_bits(), b.to_bits(), "row {i}");
+            }
+        }
     }
 
     #[test]
@@ -369,8 +536,8 @@ mod tests {
                 t.shape(),
                 0,
                 &MttkrpOptions {
-                    partitions: None,
                     map_side_combine: combine,
+                    ..MttkrpOptions::default()
                 },
             )
             .unwrap();

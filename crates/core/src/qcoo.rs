@@ -19,11 +19,12 @@
 //! `(N−1)·nnz·R` carried state. The state RDD is cached after each
 //! rotation and the previous one unpersisted, exactly as §4.2 describes.
 
-use crate::factors::{factor_to_rdd, rows_to_matrix};
+use crate::factors::{factor_to_rdd, factor_to_rdd_partitioned, rows_to_matrix};
 use crate::records::{add_rows, CooRecord, QRecord};
 use crate::{CstfError, Result};
-use cstf_dataflow::{Cluster, Rdd};
+use cstf_dataflow::{Cluster, HashPartitioner, KeyPartitioner, Rdd};
 use cstf_tensor::DenseMatrix;
+use std::sync::Arc;
 
 /// The persistent distributed state of a QCOO CP-ALS run.
 ///
@@ -46,6 +47,9 @@ pub struct QcooState {
     /// ever-growing lineage chain (standard practice for iterative Spark
     /// jobs). `0` disables checkpointing.
     checkpoint_interval: u64,
+    /// Pre-partition factor-row RDDs by the join partitioner so the factor
+    /// side of every join is narrow (no shuffle-map stage).
+    co_partition_factors: bool,
 }
 
 impl QcooState {
@@ -61,6 +65,22 @@ impl QcooState {
         rank: usize,
         partitions: usize,
     ) -> Result<Self> {
+        Self::init_with(cluster, tensor, factors, shape, rank, partitions, true)
+    }
+
+    /// [`QcooState::init`] with explicit control over factor
+    /// co-partitioning (`init` defaults to on; disable it to reproduce the
+    /// pre-partitioner stage structure).
+    #[allow(clippy::too_many_arguments)]
+    pub fn init_with(
+        cluster: &Cluster,
+        tensor: &Rdd<CooRecord>,
+        factors: &[DenseMatrix],
+        shape: &[u32],
+        rank: usize,
+        partitions: usize,
+        co_partition_factors: bool,
+    ) -> Result<Self> {
         let order = shape.len();
         if order < 2 {
             return Err(CstfError::Config(format!(
@@ -74,16 +94,22 @@ impl QcooState {
             )));
         }
         let capacity = order - 1;
+        let partitioner: Arc<dyn KeyPartitioner<u32>> = Arc::new(HashPartitioner::new(partitions));
         let mut state: Rdd<(u32, QRecord)> = tensor.map(|rec| (rec.coord[0], QRecord::new(rec)));
         for (m, factor) in factors.iter().enumerate().take(order - 1) {
-            let factor_rdd = factor_to_rdd(cluster, factor, partitions);
+            let factor_rdd = if co_partition_factors {
+                factor_to_rdd_partitioned(cluster, factor, partitioner.clone())
+            } else {
+                factor_to_rdd(cluster, factor, partitions)
+            };
             let next = m + 1;
-            state = state
-                .join_with(&factor_rdd, partitions)
-                .map(move |(_, (mut q, row))| {
-                    q.rotate(row, capacity);
-                    (q.entry.coord[next], q)
-                });
+            state =
+                state
+                    .join_by(&factor_rdd, partitioner.clone())
+                    .map(move |(_, (mut q, row))| {
+                        q.rotate(row, capacity);
+                        (q.entry.coord[next], q)
+                    });
         }
         // Materialize eagerly: the N−1 initialization shuffles are the
         // prologue overhead the paper attributes to queue setup, and they
@@ -98,6 +124,7 @@ impl QcooState {
             key_mode: order - 1,
             steps_taken: 0,
             checkpoint_interval: 8,
+            co_partition_factors,
         })
     }
 
@@ -155,11 +182,18 @@ impl QcooState {
         }
 
         let capacity = order - 1;
-        let factor_rdd = factor_to_rdd(&self.cluster, factor_of_key_mode, self.partitions);
-        // STAGE 1 (join) + STAGE 2 (rotate & re-key) — one shuffle.
+        let partitioner: Arc<dyn KeyPartitioner<u32>> =
+            Arc::new(HashPartitioner::new(self.partitions));
+        let factor_rdd = if self.co_partition_factors {
+            factor_to_rdd_partitioned(&self.cluster, factor_of_key_mode, partitioner.clone())
+        } else {
+            factor_to_rdd(&self.cluster, factor_of_key_mode, self.partitions)
+        };
+        // STAGE 1 (join) + STAGE 2 (rotate & re-key) — one shuffle (the
+        // factor side is narrow when co-partitioned).
         let rotated_raw =
             self.state
-                .join_with(&factor_rdd, self.partitions)
+                .join_by(&factor_rdd, partitioner)
                 .map(move |(_, (mut q, row))| {
                     q.rotate(row, capacity);
                     (q.entry.coord[out_mode], q)
@@ -352,6 +386,34 @@ mod tests {
         }
         assert_eq!(q.steps_taken(), 12);
         q.release();
+    }
+
+    #[test]
+    fn co_partitioned_step_runs_two_stages_and_matches_legacy_bitwise() {
+        let t = RandomTensor::new(vec![10, 10, 10]).nnz(300).seed(7).build();
+        let c = cluster();
+        let rdd = tensor_to_rdd(&c, &t, 8).persist_now();
+        let factors = random_factors(t.shape(), 2, 25);
+
+        let mut legacy = QcooState::init_with(&c, &rdd, &factors, t.shape(), 2, 16, false).unwrap();
+        let (_, m_legacy) = legacy.step(&factors[2]).unwrap();
+        legacy.release();
+
+        let mut fast = QcooState::init(&c, &rdd, &factors, t.shape(), 2, 16).unwrap();
+        c.metrics().reset();
+        let (_, m_fast) = fast.step(&factors[2]).unwrap();
+        let m = c.metrics().snapshot();
+        // State-side join shuffle + reduce = 2 raw stages; the factor side
+        // of the join was narrow.
+        assert_eq!(m.shuffle_count(), 2);
+        assert_eq!(m.skipped_shuffle_count(), 1);
+        fast.release();
+
+        for i in 0..m_fast.rows() {
+            for (a, b) in m_fast.row(i).iter().zip(m_legacy.row(i)) {
+                assert_eq!(a.to_bits(), b.to_bits(), "row {i}");
+            }
+        }
     }
 
     #[test]

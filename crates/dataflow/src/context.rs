@@ -156,6 +156,30 @@ impl Cluster {
         self.parallelize(data, p)
     }
 
+    /// Distributes key-value records already bucketed by `partitioner` on
+    /// the driver, recording the partitioner on the resulting RDD.
+    /// Downstream `join`/`reduce_by_key`/`cogroup` onto the same
+    /// partitioner then run as narrow (zero-shuffle) dependencies. Records
+    /// keep their relative order within each bucket — the same sequence a
+    /// shuffle onto `partitioner` would deliver, so results are
+    /// bit-identical to the shuffled path.
+    pub fn parallelize_by_key<K: crate::Key, V: Data>(
+        &self,
+        data: Vec<(K, V)>,
+        partitioner: Arc<dyn crate::partitioner::KeyPartitioner<K>>,
+    ) -> Rdd<(K, V)> {
+        let mut buckets: Vec<Vec<(K, V)>> = (0..partitioner.partition_count())
+            .map(|_| Vec::new())
+            .collect();
+        for (k, v) in data {
+            let b = partitioner.partition_of(&k);
+            buckets[b].push((k, v));
+        }
+        let node = Arc::new(crate::rdd::nodes::ParallelizeNode::from_partitions(buckets));
+        Rdd::from_node(self.clone(), node)
+            .with_partitioner(Some(crate::partitioner::PartitionerRef::of(partitioner)))
+    }
+
     /// Simulates the failure of one worker node: every cached partition
     /// and every shuffle map output living on that node is lost. Later
     /// jobs transparently recover by recomputing exactly the lost pieces

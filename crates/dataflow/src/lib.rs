@@ -67,7 +67,9 @@ pub use context::{Cluster, TaskContext};
 pub use executor::{RunPolicy, RunStats, SpeculationPolicy, TaskError};
 pub use fault::{FaultConfig, FaultInjector, InjectedFault};
 pub use metrics::{JobMetrics, MetricsRegistry, StageKind, StageMetrics};
-pub use partitioner::HashPartitioner;
+pub use partitioner::{
+    HashPartitioner, KeyPartitioner, PartitionerRef, PartitionerSig, RangePartitioner,
+};
 pub use rdd::Rdd;
 pub use size::EstimateSize;
 

@@ -234,6 +234,16 @@ pub enum Event {
         /// Total remote bytes (replica size × receiving nodes).
         bytes: u64,
     },
+    /// A shuffle the partitioner-aware planner elided: the input was
+    /// already partitioned by the requested partitioner, so the wide
+    /// operation ran as a narrow dependency — no shuffle-map stage, no
+    /// shuffle bytes. Recorded at graph-construction time.
+    SkippedShuffle {
+        /// Scope label active when recorded.
+        scope: String,
+        /// Operator whose shuffle was skipped (e.g. `"cogroup-left"`).
+        name: String,
+    },
 }
 
 /// An immutable snapshot of everything recorded since the last reset.
@@ -267,6 +277,16 @@ impl JobMetrics {
     pub fn significant_shuffle_count(&self, min_records: u64) -> usize {
         self.stages()
             .filter(|s| s.kind == StageKind::ShuffleMap && s.shuffle_write_records >= min_records)
+            .count()
+    }
+
+    /// Number of shuffles the partitioner-aware planner skipped because
+    /// the input was already co-partitioned (narrow-join accounting; the
+    /// savings ablations report).
+    pub fn skipped_shuffle_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, Event::SkippedShuffle { .. }))
             .count()
     }
 
@@ -432,12 +452,21 @@ impl JobMetrics {
                         truncate(scope, 10)
                     );
                 }
+                Event::SkippedShuffle { scope, name } => {
+                    let _ = writeln!(
+                        out,
+                        "       {:<10} skipped-shuffle {}",
+                        truncate(scope, 10),
+                        truncate(name, 32)
+                    );
+                }
             }
         }
         let _ = writeln!(
             out,
-            "TOTAL  {} shuffles | {} remote B | {} local B | {} disk rd B | {} jobs | {} broadcast B",
+            "TOTAL  {} shuffles ({} skipped) | {} remote B | {} local B | {} disk rd B | {} jobs | {} broadcast B",
             self.shuffle_count(),
+            self.skipped_shuffle_count(),
             self.total_remote_bytes(),
             self.total_local_bytes(),
             self.total_disk_read(),
@@ -551,6 +580,17 @@ impl MetricsRegistry {
     pub fn record_broadcast(&self, bytes: u64) {
         let scope = self.scope();
         self.events.lock().push(Event::Broadcast { scope, bytes });
+    }
+
+    /// Records a shuffle elided by partitioner-aware planning (the input
+    /// was already partitioned as requested, so the wide op became a
+    /// narrow dependency).
+    pub fn record_skipped_shuffle(&self, name: impl Into<String>) {
+        let scope = self.scope();
+        self.events.lock().push(Event::SkippedShuffle {
+            scope,
+            name: name.into(),
+        });
     }
 
     /// Copies the current log.
@@ -731,6 +771,20 @@ mod tests {
         assert_eq!(m.total_speculative_won(), 1);
         let report = m.render_report();
         assert!(report.contains("FAULT  3 task failures | 2 retries"));
+    }
+
+    #[test]
+    fn skipped_shuffles_counted_and_rendered() {
+        let reg = MetricsRegistry::new();
+        reg.set_scope("MTTKRP-1");
+        reg.record_skipped_shuffle("cogroup-right");
+        reg.record_skipped_shuffle("reduce_by_key");
+        let m = reg.snapshot();
+        assert_eq!(m.skipped_shuffle_count(), 2);
+        assert_eq!(m.shuffle_count(), 0);
+        let report = m.render_report();
+        assert!(report.contains("skipped-shuffle cogroup-right"));
+        assert!(report.contains("(2 skipped)"));
     }
 
     #[test]

@@ -12,6 +12,7 @@ pub mod pair;
 
 use crate::cache::StorageLevel;
 use crate::context::{Cluster, TaskContext};
+use crate::partitioner::PartitionerRef;
 use crate::size::EstimateSize;
 use crate::Data;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -100,6 +101,12 @@ pub trait RddNode<T: Data>: NodeInfo {
 pub struct Rdd<T: Data> {
     pub(crate) node: Arc<dyn RddNode<T>>,
     pub(crate) cluster: Cluster,
+    /// Provenance: the partitioner whose placement this dataset's
+    /// partitions are known to follow (recorded by shuffle outputs,
+    /// propagated by partitioning-preserving narrow ops, dropped by
+    /// key-changing ops). The scheduler turns joins against a matching
+    /// partitioner into narrow dependencies.
+    pub(crate) partitioner: Option<PartitionerRef>,
 }
 
 impl<T: Data> Clone for Rdd<T> {
@@ -107,18 +114,35 @@ impl<T: Data> Clone for Rdd<T> {
         Rdd {
             node: self.node.clone(),
             cluster: self.cluster.clone(),
+            partitioner: self.partitioner.clone(),
         }
     }
 }
 
 impl<T: Data> Rdd<T> {
     pub(crate) fn from_node(cluster: Cluster, node: Arc<dyn RddNode<T>>) -> Self {
-        Rdd { node, cluster }
+        Rdd {
+            node,
+            cluster,
+            partitioner: None,
+        }
+    }
+
+    /// Attaches partitioner provenance (used by shuffle outputs and by
+    /// narrow ops that provably preserve key placement).
+    pub(crate) fn with_partitioner(mut self, partitioner: Option<PartitionerRef>) -> Self {
+        self.partitioner = partitioner;
+        self
     }
 
     pub(crate) fn parallelize(cluster: Cluster, data: Vec<T>, partitions: usize) -> Self {
         let node = Arc::new(nodes::ParallelizeNode::new(data, partitions));
         Rdd::from_node(cluster, node)
+    }
+
+    /// The partitioner this dataset is known to follow, if any.
+    pub fn partitioner(&self) -> Option<&PartitionerRef> {
+        self.partitioner.as_ref()
     }
 
     /// Node id (unique per lineage node).
@@ -175,12 +199,14 @@ impl<T: Data> Rdd<T> {
         )
     }
 
-    /// Keeps records satisfying `f`.
+    /// Keeps records satisfying `f`. Preserves partitioning: dropping
+    /// records never moves the survivors.
     pub fn filter(&self, f: impl Fn(&T) -> bool + Send + Sync + 'static) -> Rdd<T> {
         Rdd::from_node(
             self.cluster.clone(),
             Arc::new(nodes::FilterNode::new(self.node.clone(), f)),
         )
+        .with_partitioner(self.partitioner.clone())
     }
 
     /// Applies `f` and flattens the results.
@@ -302,6 +328,7 @@ impl<T: Data> Rdd<T> {
                 StorageLevel::MemoryRaw,
             )),
         )
+        .with_partitioner(self.partitioner.clone())
     }
 
     /// Evaluates the dataset eagerly and caches it, returning the cached
@@ -328,6 +355,7 @@ impl<T: Data> Rdd<T> {
             self.cluster.clone(),
             Arc::new(nodes::CheckpointNode::new(parts)),
         )
+        .with_partitioner(self.partitioner.clone())
     }
 
     /// Drops this RDD's cached partitions (Spark `unpersist`). Only
@@ -433,6 +461,7 @@ impl<T: Data + EstimateSize> Rdd<T> {
                 self.cluster.clone(),
             )),
         )
+        .with_partitioner(self.partitioner.clone())
     }
 }
 

@@ -31,6 +31,17 @@ impl<T: Data> ParallelizeNode<T> {
             partitions: chunks,
         }
     }
+
+    /// Uses explicitly pre-assigned partitions (the driver already
+    /// bucketed the data, e.g. by a [`crate::partitioner::KeyPartitioner`]
+    /// for [`crate::Cluster::parallelize_by_key`]).
+    pub fn from_partitions(partitions: Vec<Vec<T>>) -> Self {
+        assert!(!partitions.is_empty());
+        ParallelizeNode {
+            id: next_node_id(),
+            partitions: partitions.into_iter().map(Arc::new).collect(),
+        }
+    }
 }
 
 impl<T: Data> NodeInfo for ParallelizeNode<T> {

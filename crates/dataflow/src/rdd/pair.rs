@@ -6,6 +6,16 @@
 //! [`ShuffleDep`]; the scheduler materializes it as a shuffle-map stage and
 //! reducers fetch buckets with remote/local byte attribution.
 //!
+//! **Partitioner-aware scheduling.** Every wide operation records the
+//! [`KeyPartitioner`] that produced its output on the resulting [`Rdd`],
+//! and `cogroup`/`join`/`reduce_by_key`/`partition_by` compare each
+//! input's recorded partitioner against the one they were asked to use: a
+//! side that already matches is read through a narrow one-to-one
+//! dependency instead of a fresh shuffle (Spark's `CoGroupedRDD` with
+//! matching partitioners). A fully co-partitioned join therefore runs as
+//! a zero-shuffle narrow stage; each elided shuffle-map stage is counted
+//! in [`crate::metrics::JobMetrics::skipped_shuffle_count`].
+//!
 //! By default `reduce_by_key` does **not** combine map-side. This matches
 //! the paper's cost accounting (Table 4 charges the final `reduceByKey` a
 //! full `nnz × R` of traffic); Spark's combining variant is available as
@@ -14,9 +24,10 @@
 use super::{next_node_id, Dependency, NodeInfo, Rdd, RddNode, ShuffleDependency};
 use crate::context::{Cluster, TaskContext};
 use crate::hash::FxHashMap;
-use crate::partitioner::{HashPartitioner, KeyPartitioner, RangePartitioner};
+use crate::partitioner::{HashPartitioner, KeyPartitioner, PartitionerRef, RangePartitioner};
 use crate::size::EstimateSize;
 use crate::{Data, Key};
+use std::collections::hash_map::Entry;
 use std::sync::Arc;
 
 /// Element type produced by [`Rdd::cogroup`]: per distinct key, all values
@@ -137,7 +148,9 @@ where
                 remote += bucket.bytes;
             }
             records += bucket.records.len() as u64;
-            out.extend(bucket.records);
+            // Buckets are shared (`Arc`) with the shuffle service; copy
+            // records outside the service lock.
+            out.extend(bucket.records.iter().cloned());
         }
         ctx.stage.add_shuffle_read(remote, local, records);
         out
@@ -182,21 +195,30 @@ where
             missing,
             |_map_partition, data| {
                 let buckets: Vec<Vec<(K, C)>> = if self.map_side_combine {
-                    let mut maps: Vec<FxHashMap<K, C>> =
+                    // `Option<C>` slots let the entry API merge in place:
+                    // each record hashes exactly once instead of the
+                    // remove-then-insert double lookup.
+                    let mut maps: Vec<FxHashMap<K, Option<C>>> =
                         (0..num_reduce).map(|_| FxHashMap::default()).collect();
                     for (k, v) in data {
                         let b = self.partitioner.partition_of(&k);
-                        match maps[b].remove(&k) {
-                            Some(c) => {
-                                let merged = (self.aggregator.merge_value)(c, v);
-                                maps[b].insert(k, merged);
+                        match maps[b].entry(k) {
+                            Entry::Occupied(mut slot) => {
+                                let prev = slot.get_mut().take().expect("combiner present");
+                                *slot.get_mut() = Some((self.aggregator.merge_value)(prev, v));
                             }
-                            None => {
-                                maps[b].insert(k, (self.aggregator.create)(v));
+                            Entry::Vacant(slot) => {
+                                slot.insert(Some((self.aggregator.create)(v)));
                             }
                         }
                     }
-                    maps.into_iter().map(|m| m.into_iter().collect()).collect()
+                    maps.into_iter()
+                        .map(|m| {
+                            m.into_iter()
+                                .map(|(k, c)| (k, c.expect("combiner present")))
+                                .collect()
+                        })
+                        .collect()
                 } else {
                     let mut buckets: Vec<Vec<(K, C)>> =
                         (0..num_reduce).map(|_| Vec::new()).collect();
@@ -273,30 +295,68 @@ where
             ctx.stage.add_records_computed(raw.len() as u64);
             return raw;
         }
-        let mut merged: FxHashMap<K, C> = FxHashMap::default();
+        // Entry-API merge: each record hashes once (see map-side combine).
+        let mut merged: FxHashMap<K, Option<C>> = FxHashMap::default();
         for (k, c) in raw {
-            match merged.remove(&k) {
-                Some(prev) => {
-                    let combined = (self.dep.aggregator.merge_combiners)(prev, c);
-                    merged.insert(k, combined);
+            match merged.entry(k) {
+                Entry::Occupied(mut slot) => {
+                    let prev = slot.get_mut().take().expect("combiner present");
+                    *slot.get_mut() = Some((self.dep.aggregator.merge_combiners)(prev, c));
                 }
-                None => {
-                    merged.insert(k, c);
+                Entry::Vacant(slot) => {
+                    slot.insert(Some(c));
                 }
             }
         }
-        let out: Vec<(K, C)> = merged.into_iter().collect();
+        let out: Vec<(K, C)> = merged
+            .into_iter()
+            .map(|(k, c)| (k, c.expect("combiner present")))
+            .collect();
         ctx.stage.add_records_computed(out.len() as u64);
         out
     }
 }
 
+/// One input side of a [`CoGroupedRdd`]: either read through a fresh
+/// shuffle, or — when the input is already partitioned by the requested
+/// partitioner — read directly from the parent's matching partition
+/// (narrow one-to-one dependency, zero shuffle bytes).
+enum CoSide<K: Key, V: Data> {
+    /// Already partitioned by the requested partitioner: partition `p` of
+    /// the cogroup reads partition `p` of the parent, unshuffled.
+    Narrow(Arc<dyn RddNode<(K, V)>>),
+    /// Must be repartitioned through a shuffle-map stage.
+    Shuffled(Arc<ShuffleDep<K, V, V>>),
+}
+
+impl<K, V> CoSide<K, V>
+where
+    K: Key + EstimateSize,
+    V: Data + EstimateSize,
+{
+    fn dependency(&self) -> Dependency {
+        match self {
+            CoSide::Narrow(parent) => Dependency::Narrow(parent.clone()),
+            CoSide::Shuffled(dep) => Dependency::Shuffle(dep.clone()),
+        }
+    }
+
+    fn read(&self, partition: usize, ctx: &TaskContext<'_>) -> Vec<(K, V)> {
+        match self {
+            CoSide::Narrow(parent) => parent.compute(partition, ctx),
+            CoSide::Shuffled(dep) => dep.read(partition, ctx),
+        }
+    }
+}
+
 /// Co-grouping of two pair RDDs on a shared partitioner: partition `p`
-/// holds, for every key hashing to `p`, the values from both sides.
+/// holds, for every key hashing to `p`, the values from both sides. A
+/// side whose input is already co-partitioned is a narrow dependency
+/// (Spark's `CoGroupedRDD` with a matching partitioner).
 pub struct CoGroupedRdd<K: Key, V: Data, W: Data> {
     id: usize,
-    left: Arc<ShuffleDep<K, V, V>>,
-    right: Arc<ShuffleDep<K, W, W>>,
+    left: CoSide<K, V>,
+    right: CoSide<K, W>,
     partitions: usize,
 }
 
@@ -316,10 +376,7 @@ where
         self.partitions
     }
     fn deps(&self) -> Vec<Dependency> {
-        vec![
-            Dependency::Shuffle(self.left.clone()),
-            Dependency::Shuffle(self.right.clone()),
-        ]
+        vec![self.left.dependency(), self.right.dependency()]
     }
 }
 
@@ -343,6 +400,66 @@ where
     }
 }
 
+/// Shuffle-free `reduceByKey`: the parent is already partitioned by the
+/// requested partitioner, so every key's records are co-located and each
+/// partition combines locally — a narrow one-to-one dependency.
+struct NarrowCombinedRdd<K: Key, V: Data, C: Data> {
+    id: usize,
+    name: String,
+    parent: Arc<dyn RddNode<(K, V)>>,
+    aggregator: Aggregator<V, C>,
+    partitions: usize,
+}
+
+impl<K, V, C> NodeInfo for NarrowCombinedRdd<K, V, C>
+where
+    K: Key + EstimateSize,
+    V: Data,
+    C: Data + EstimateSize,
+{
+    fn id(&self) -> usize {
+        self.id
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn num_partitions(&self) -> usize {
+        self.partitions
+    }
+    fn deps(&self) -> Vec<Dependency> {
+        vec![Dependency::Narrow(self.parent.clone())]
+    }
+}
+
+impl<K, V, C> RddNode<(K, C)> for NarrowCombinedRdd<K, V, C>
+where
+    K: Key + EstimateSize,
+    V: Data,
+    C: Data + EstimateSize,
+{
+    fn compute(&self, partition: usize, ctx: &TaskContext<'_>) -> Vec<(K, C)> {
+        let raw = self.parent.compute(partition, ctx);
+        let mut merged: FxHashMap<K, Option<C>> = FxHashMap::default();
+        for (k, v) in raw {
+            match merged.entry(k) {
+                Entry::Occupied(mut slot) => {
+                    let prev = slot.get_mut().take().expect("combiner present");
+                    *slot.get_mut() = Some((self.aggregator.merge_value)(prev, v));
+                }
+                Entry::Vacant(slot) => {
+                    slot.insert(Some((self.aggregator.create)(v)));
+                }
+            }
+        }
+        let out: Vec<(K, C)> = merged
+            .into_iter()
+            .map(|(k, c)| (k, c.expect("combiner present")))
+            .collect();
+        ctx.stage.add_records_computed(out.len() as u64);
+        out
+    }
+}
+
 impl<K, V> Rdd<(K, V)>
 where
     K: Key + EstimateSize,
@@ -355,7 +472,20 @@ where
     /// Applies `f` to each value, keeping keys (narrow, preserves
     /// partitioning — Spark `mapValues`).
     pub fn map_values<U: Data>(&self, f: impl Fn(V) -> U + Send + Sync + 'static) -> Rdd<(K, U)> {
+        let partitioner = self.partitioner.clone();
         self.map(move |(k, v)| (k, f(v)))
+            .with_partitioner(partitioner)
+    }
+
+    /// Expands each value into zero or more values under the same key
+    /// (narrow, preserves partitioning — Spark `flatMapValues`).
+    pub fn flat_map_values<U: Data>(
+        &self,
+        f: impl Fn(V) -> Vec<U> + Send + Sync + 'static,
+    ) -> Rdd<(K, U)> {
+        let partitioner = self.partitioner.clone();
+        self.flat_map(move |(k, v)| f(v).into_iter().map(|u| (k.clone(), u)).collect())
+            .with_partitioner(partitioner)
     }
 
     /// Drops values.
@@ -394,8 +524,26 @@ where
         self.reduce_by_key_with(self.default_partitions(), true, f)
     }
 
+    /// True when this RDD's recorded partitioner matches `partitioner`, so
+    /// a shuffle onto `partitioner` can be skipped.
+    fn co_partitioned_with(&self, partitioner: &dyn KeyPartitioner<K>) -> bool {
+        match self.partitioner.as_ref() {
+            Some(p) if p.matches(&partitioner.signature()) => {
+                assert_eq!(
+                    self.num_partitions(),
+                    partitioner.partition_count(),
+                    "recorded partitioner disagrees with RDD partition count"
+                );
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// `reduceByKey` with explicit partition count and map-side-combine
-    /// flag.
+    /// flag. When the input is already hash-partitioned into `partitions`
+    /// buckets the shuffle is skipped entirely and combining runs as a
+    /// narrow per-partition stage.
     pub fn reduce_by_key_with(
         &self,
         partitions: usize,
@@ -403,11 +551,28 @@ where
         f: impl Fn(V, V) -> V + Send + Sync + 'static,
     ) -> Rdd<(K, V)> {
         let agg = Aggregator::from_reduce(f);
+        let partitioner: Arc<dyn KeyPartitioner<K>> = Arc::new(HashPartitioner::new(partitions));
+        if self.co_partitioned_with(partitioner.as_ref()) {
+            self.cluster
+                .metrics()
+                .record_skipped_shuffle("reduce_by_key");
+            return Rdd::from_node(
+                self.cluster.clone(),
+                Arc::new(NarrowCombinedRdd {
+                    id: next_node_id(),
+                    name: "reduce_by_key(narrow)".into(),
+                    parent: self.node.clone(),
+                    aggregator: agg,
+                    partitions,
+                }),
+            )
+            .with_partitioner(Some(PartitionerRef::of(partitioner)));
+        }
         let dep = Arc::new(ShuffleDep::new(
             &self.cluster,
             "reduce_by_key",
             self.node.clone(),
-            Arc::new(HashPartitioner::new(partitions)),
+            partitioner.clone(),
             agg,
             map_side_combine,
         ));
@@ -420,6 +585,7 @@ where
                 reduce_side_combine: true,
             }),
         )
+        .with_partitioner(Some(PartitionerRef::of(partitioner)))
     }
 
     /// Groups all values per key (Spark `groupByKey`; no map-side combine,
@@ -441,11 +607,12 @@ where
                 a
             }),
         };
+        let partitioner: Arc<dyn KeyPartitioner<K>> = Arc::new(HashPartitioner::new(partitions));
         let dep = Arc::new(ShuffleDep::new(
             &self.cluster,
             "group_by_key",
             self.node.clone(),
-            Arc::new(HashPartitioner::new(partitions)),
+            partitioner.clone(),
             agg,
             false,
         ));
@@ -458,16 +625,25 @@ where
                 reduce_side_combine: true,
             }),
         )
+        .with_partitioner(Some(PartitionerRef::of(partitioner)))
     }
 
     /// Repartitions by key, preserving duplicate records (Spark
-    /// `partitionBy`).
+    /// `partitionBy`). A no-op (and zero shuffles) when the RDD is already
+    /// hash-partitioned into `partitions` buckets.
     pub fn partition_by(&self, partitions: usize) -> Rdd<(K, V)> {
+        let partitioner: Arc<dyn KeyPartitioner<K>> = Arc::new(HashPartitioner::new(partitions));
+        if self.co_partitioned_with(partitioner.as_ref()) {
+            self.cluster
+                .metrics()
+                .record_skipped_shuffle("partition_by");
+            return self.clone();
+        }
         let dep = Arc::new(ShuffleDep::new(
             &self.cluster,
             "partition_by",
             self.node.clone(),
-            Arc::new(HashPartitioner::new(partitions)),
+            partitioner.clone(),
             Aggregator::identity(),
             false,
         ));
@@ -480,6 +656,7 @@ where
                 reduce_side_combine: false,
             }),
         )
+        .with_partitioner(Some(PartitionerRef::of(partitioner)))
     }
 
     /// Co-groups with `other`: one output record per distinct key, holding
@@ -494,23 +671,49 @@ where
         other: &Rdd<(K, W)>,
         partitions: usize,
     ) -> Rdd<CoGrouped<K, V, W>> {
-        let partitioner: Arc<dyn KeyPartitioner<K>> = Arc::new(HashPartitioner::new(partitions));
-        let left = Arc::new(ShuffleDep::new(
-            &self.cluster,
-            "cogroup-left",
-            self.node.clone(),
-            partitioner.clone(),
-            Aggregator::identity(),
-            false,
-        ));
-        let right = Arc::new(ShuffleDep::new(
-            &self.cluster,
-            "cogroup-right",
-            other.node.clone(),
-            partitioner,
-            Aggregator::identity(),
-            false,
-        ));
+        self.cogroup_by(other, Arc::new(HashPartitioner::new(partitions)))
+    }
+
+    /// `cogroup` with an explicit partitioner. Each side that is already
+    /// partitioned by `partitioner` is read through a narrow one-to-one
+    /// dependency — no shuffle-map stage, no shuffle bytes. Two
+    /// co-partitioned inputs make this a zero-shuffle narrow stage.
+    pub fn cogroup_by<W: Data + EstimateSize>(
+        &self,
+        other: &Rdd<(K, W)>,
+        partitioner: Arc<dyn KeyPartitioner<K>>,
+    ) -> Rdd<CoGrouped<K, V, W>> {
+        let partitions = partitioner.partition_count();
+        let left = if self.co_partitioned_with(partitioner.as_ref()) {
+            self.cluster
+                .metrics()
+                .record_skipped_shuffle("cogroup-left");
+            CoSide::Narrow(self.node.clone())
+        } else {
+            CoSide::Shuffled(Arc::new(ShuffleDep::new(
+                &self.cluster,
+                "cogroup-left",
+                self.node.clone(),
+                partitioner.clone(),
+                Aggregator::identity(),
+                false,
+            )))
+        };
+        let right = if other.co_partitioned_with(partitioner.as_ref()) {
+            self.cluster
+                .metrics()
+                .record_skipped_shuffle("cogroup-right");
+            CoSide::Narrow(other.node.clone())
+        } else {
+            CoSide::Shuffled(Arc::new(ShuffleDep::new(
+                &self.cluster,
+                "cogroup-right",
+                other.node.clone(),
+                partitioner.clone(),
+                Aggregator::identity(),
+                false,
+            )))
+        };
         Rdd::from_node(
             self.cluster.clone(),
             Arc::new(CoGroupedRdd {
@@ -520,6 +723,7 @@ where
                 partitions,
             }),
         )
+        .with_partitioner(Some(PartitionerRef::of(partitioner)))
     }
 
     /// Inner join (Spark `join`): emits `(k, (v, w))` for every pair of
@@ -544,8 +748,27 @@ where
         other: &Rdd<(K, W)>,
         partitions: usize,
     ) -> Rdd<(K, (V, W))> {
-        self.cogroup_with(other, partitions)
-            .flat_map(|(k, (vs, ws))| {
+        self.join_by(other, Arc::new(HashPartitioner::new(partitions)))
+    }
+
+    /// `join` with an explicit partitioner; co-partitioned sides skip
+    /// their shuffle (see [`Rdd::cogroup_by`]).
+    pub fn join_by<W: Data + EstimateSize>(
+        &self,
+        other: &Rdd<(K, W)>,
+        partitioner: Arc<dyn KeyPartitioner<K>>,
+    ) -> Rdd<(K, (V, W))> {
+        let grouped = self.cogroup_by(other, partitioner);
+        let joined_partitioner = grouped.partitioner.clone();
+        grouped
+            .flat_map(|(k, (mut vs, mut ws))| {
+                // Fast path: one value per side (the common MTTKRP case —
+                // one factor row per index) moves instead of cloning.
+                if vs.len() == 1 && ws.len() == 1 {
+                    let v = vs.pop().expect("len checked");
+                    let w = ws.pop().expect("len checked");
+                    return vec![(k, (v, w))];
+                }
                 let mut out = Vec::with_capacity(vs.len() * ws.len());
                 for v in &vs {
                     for w in &ws {
@@ -554,6 +777,7 @@ where
                 }
                 out
             })
+            .with_partitioner(joined_partitioner)
     }
 
     /// Left outer join: every left record appears; the right side is
@@ -562,19 +786,23 @@ where
         &self,
         other: &Rdd<(K, W)>,
     ) -> Rdd<(K, (V, Option<W>))> {
-        self.cogroup(other).flat_map(|(k, (vs, ws))| {
-            let mut out = Vec::new();
-            for v in &vs {
-                if ws.is_empty() {
-                    out.push((k.clone(), (v.clone(), None)));
-                } else {
-                    for w in &ws {
-                        out.push((k.clone(), (v.clone(), Some(w.clone()))));
+        let grouped = self.cogroup(other);
+        let partitioner = grouped.partitioner.clone();
+        grouped
+            .flat_map(|(k, (vs, ws))| {
+                let mut out = Vec::new();
+                for v in &vs {
+                    if ws.is_empty() {
+                        out.push((k.clone(), (v.clone(), None)));
+                    } else {
+                        for w in &ws {
+                            out.push((k.clone(), (v.clone(), Some(w.clone()))));
+                        }
                     }
                 }
-            }
-            out
-        })
+                out
+            })
+            .with_partitioner(partitioner)
     }
 
     /// Full outer join: keys from either side appear, with `None` filling
@@ -583,42 +811,50 @@ where
         &self,
         other: &Rdd<(K, W)>,
     ) -> Rdd<FullOuterJoined<K, V, W>> {
-        self.cogroup(other).flat_map(|(k, (vs, ws))| {
-            let mut out = Vec::new();
-            match (vs.is_empty(), ws.is_empty()) {
-                (false, false) => {
-                    for v in &vs {
-                        for w in &ws {
-                            out.push((k.clone(), (Some(v.clone()), Some(w.clone()))));
+        let grouped = self.cogroup(other);
+        let partitioner = grouped.partitioner.clone();
+        grouped
+            .flat_map(|(k, (vs, ws))| {
+                let mut out = Vec::new();
+                match (vs.is_empty(), ws.is_empty()) {
+                    (false, false) => {
+                        for v in &vs {
+                            for w in &ws {
+                                out.push((k.clone(), (Some(v.clone()), Some(w.clone()))));
+                            }
                         }
                     }
-                }
-                (false, true) => {
-                    for v in &vs {
-                        out.push((k.clone(), (Some(v.clone()), None)));
+                    (false, true) => {
+                        for v in &vs {
+                            out.push((k.clone(), (Some(v.clone()), None)));
+                        }
                     }
-                }
-                (true, false) => {
-                    for w in &ws {
-                        out.push((k.clone(), (None, Some(w.clone()))));
+                    (true, false) => {
+                        for w in &ws {
+                            out.push((k.clone(), (None, Some(w.clone()))));
+                        }
                     }
+                    (true, true) => unreachable!("cogroup emits only present keys"),
                 }
-                (true, true) => unreachable!("cogroup emits only present keys"),
-            }
-            out
-        })
+                out
+            })
+            .with_partitioner(partitioner)
     }
 
     /// Removes every record whose key appears in `other` (Spark
     /// `subtractByKey`).
     pub fn subtract_by_key<W: Data + EstimateSize>(&self, other: &Rdd<(K, W)>) -> Rdd<(K, V)> {
-        self.cogroup(other).flat_map(|(k, (vs, ws))| {
-            if ws.is_empty() {
-                vs.into_iter().map(|v| (k.clone(), v)).collect()
-            } else {
-                Vec::new()
-            }
-        })
+        let grouped = self.cogroup(other);
+        let partitioner = grouped.partitioner.clone();
+        grouped
+            .flat_map(|(k, (vs, ws))| {
+                if ws.is_empty() {
+                    vs.into_iter().map(|v| (k.clone(), v)).collect()
+                } else {
+                    Vec::new()
+                }
+            })
+            .with_partitioner(partitioner)
     }
 
     /// Collects every value stored under `key` (Spark `lookup`). Runs a
@@ -660,11 +896,12 @@ where
             merge_value: Arc::new(merge_value),
             merge_combiners: Arc::new(merge_combiners),
         };
+        let partitioner: Arc<dyn KeyPartitioner<K>> = Arc::new(HashPartitioner::new(partitions));
         let dep = Arc::new(ShuffleDep::new(
             &self.cluster,
             "combine_by_key",
             self.node.clone(),
-            Arc::new(HashPartitioner::new(partitions)),
+            partitioner.clone(),
             agg,
             map_side_combine,
         ));
@@ -677,6 +914,7 @@ where
                 reduce_side_combine: true,
             }),
         )
+        .with_partitioner(Some(PartitionerRef::of(partitioner)))
     }
 
     /// Folds each key's values into `zero` (Spark `aggregateByKey`).
@@ -705,11 +943,12 @@ where
     where
         K: Ord,
     {
+        let partitioner: Arc<dyn KeyPartitioner<K>> = Arc::new(partitioner);
         let dep = Arc::new(ShuffleDep::new(
             &self.cluster,
             "partition_by_range",
             self.node.clone(),
-            Arc::new(partitioner),
+            partitioner.clone(),
             Aggregator::identity(),
             false,
         ));
@@ -722,6 +961,7 @@ where
                 reduce_side_combine: false,
             }),
         )
+        .with_partitioner(Some(PartitionerRef::of(partitioner)))
     }
 
     /// Globally sorts by key (Spark `sortByKey`): samples keys to derive
@@ -753,10 +993,13 @@ where
             })
             .collect();
         let partitioner = RangePartitioner::from_sample(sample, partitions);
-        self.partition_by_range(partitioner)
+        let ranged = self.partition_by_range(partitioner);
+        let range_ref = ranged.partitioner.clone();
+        ranged
             .map_partitions(|_, mut data| {
                 data.sort_by(|a, b| a.0.cmp(&b.0));
                 data
             })
+            .with_partitioner(range_ref)
     }
 }

@@ -9,6 +9,7 @@
 use crate::hash::FxHashMap;
 use parking_lot::Mutex;
 use std::any::Any;
+use std::sync::Arc;
 
 /// One map task's output: `buckets[r]` holds the records destined for
 /// reduce partition `r`. Stored type-erased; the typed shuffle dependency
@@ -24,12 +25,15 @@ struct ShuffleData {
     map_outputs: Vec<Option<MapOutput>>,
 }
 
-/// One bucket fetched by a reducer.
+/// One bucket fetched by a reducer. The records are shared with the
+/// service (`Arc`), so fetching is O(1) per bucket instead of an
+/// `nnz × R`-sized deep copy under the service lock; readers that need
+/// ownership copy outside the lock.
 pub struct FetchedBucket<T> {
     /// Which map partition produced the bucket.
     pub map_partition: usize,
-    /// The records.
-    pub records: Vec<T>,
+    /// The records, shared with the shuffle store.
+    pub records: Arc<Vec<T>>,
     /// Estimated serialized size recorded at write time.
     pub bytes: u64,
 }
@@ -81,6 +85,9 @@ impl ShuffleService {
             return;
         }
         let bucket_records = buckets.iter().map(|b| b.len() as u64).collect();
+        // Arc-wrap each bucket so reads hand out shared references
+        // instead of deep copies.
+        let buckets: Vec<Arc<Vec<T>>> = buckets.into_iter().map(Arc::new).collect();
         data.map_outputs[map_partition] = Some(MapOutput {
             buckets: Box::new(buckets),
             bucket_bytes,
@@ -137,7 +144,8 @@ impl ShuffleService {
     }
 
     /// Fetches reduce partition `reduce_partition`'s bucket from every map
-    /// output, in map-partition order.
+    /// output, in map-partition order. Only bucket `Arc`s are cloned under
+    /// the lock; record data is never copied here.
     ///
     /// # Panics
     ///
@@ -161,7 +169,7 @@ impl ShuffleService {
                     .unwrap_or_else(|| panic!("shuffle {shuffle_id} map {map_partition} missing"));
                 let buckets = out
                     .buckets
-                    .downcast_ref::<Vec<Vec<T>>>()
+                    .downcast_ref::<Vec<Arc<Vec<T>>>>()
                     .expect("shuffle read with mismatched record type");
                 FetchedBucket {
                     map_partition,
@@ -221,12 +229,12 @@ mod tests {
 
         let r0 = svc.read::<(u32, f64)>(1, 0);
         assert_eq!(r0.len(), 2);
-        assert_eq!(r0[0].records, vec![(1, 1.0)]);
-        assert_eq!(r0[1].records, vec![(3, 3.0)]);
+        assert_eq!(*r0[0].records, vec![(1, 1.0)]);
+        assert_eq!(*r0[1].records, vec![(3, 3.0)]);
         assert_eq!(r0[0].bytes, 12);
 
         let r1 = svc.read::<(u32, f64)>(1, 1);
-        assert_eq!(r1[0].records, vec![(2, 2.0)]);
+        assert_eq!(*r1[0].records, vec![(2, 2.0)]);
         assert!(r1[1].records.is_empty());
         assert_eq!(svc.reduce_partition_records(1, 0), 2);
         assert_eq!(svc.reduce_partition_records(1, 1), 1);

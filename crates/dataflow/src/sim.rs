@@ -238,6 +238,8 @@ impl TimeModel {
                 }
                 Event::JobBoundary { .. } => self.job_launch_secs,
                 Event::Broadcast { bytes, .. } => self.broadcast_time(*bytes, nodes),
+                // An elided shuffle costs nothing — that is the point.
+                Event::SkippedShuffle { .. } => 0.0,
             })
             .sum()
     }
@@ -262,6 +264,7 @@ impl TimeModel {
                 }
                 Event::JobBoundary { scope } => add(scope, self.job_launch_secs),
                 Event::Broadcast { scope, bytes } => add(scope, self.broadcast_time(*bytes, nodes)),
+                Event::SkippedShuffle { scope, .. } => add(scope, 0.0),
             }
         }
         order
