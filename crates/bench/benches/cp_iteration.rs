@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use cstf_core::{CpAls, Strategy};
-use cstf_dataflow::{Cluster, ClusterConfig};
+use cstf_dataflow::prelude::*;
 use cstf_tensor::random::RandomTensor;
 use cstf_tensor::CooTensor;
 

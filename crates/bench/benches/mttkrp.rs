@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cstf_core::factors::tensor_to_rdd;
 use cstf_core::mttkrp::{mttkrp_coo, MttkrpOptions};
 use cstf_core::qcoo::QcooState;
-use cstf_dataflow::{Cluster, ClusterConfig};
+use cstf_dataflow::prelude::*;
 use cstf_tensor::csf::CsfTensor;
 use cstf_tensor::dimtree::DimTree;
 use cstf_tensor::mttkrp::{mttkrp, mttkrp_parallel};
@@ -79,7 +79,8 @@ fn bench_distributed(c: &mut Criterion) {
     let f = factors(&t, 2);
 
     let cluster = Cluster::new(ClusterConfig::auto().nodes(4));
-    let rdd = tensor_to_rdd(&cluster, &t, 16).persist_now();
+    let rdd = tensor_to_rdd(&cluster, &t, 16).persist(StorageLevel::MemoryRaw);
+    let _ = rdd.count();
     group.bench_function("cstf_coo", |b| {
         b.iter(|| mttkrp_coo(&cluster, &rdd, &f, t.shape(), 0, &MttkrpOptions::default()).unwrap())
     });

@@ -2,7 +2,7 @@
 //! is built from (`reduce_by_key`, `join`, `partition_by`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use cstf_dataflow::{Cluster, ClusterConfig};
+use cstf_dataflow::prelude::*;
 
 fn bench_reduce_by_key(c: &mut Criterion) {
     let mut group = c.benchmark_group("reduce_by_key");

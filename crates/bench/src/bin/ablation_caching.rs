@@ -13,7 +13,7 @@
 
 use cstf_bench::*;
 use cstf_core::{CpAls, Strategy};
-use cstf_dataflow::{Cluster, ClusterConfig};
+use cstf_dataflow::prelude::*;
 use cstf_tensor::datasets::DELICIOUS3D;
 
 fn main() {

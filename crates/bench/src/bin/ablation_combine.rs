@@ -15,7 +15,7 @@
 use cstf_bench::*;
 use cstf_core::factors::tensor_to_rdd;
 use cstf_core::mttkrp::{mttkrp_coo, MttkrpOptions};
-use cstf_dataflow::{Cluster, ClusterConfig};
+use cstf_dataflow::prelude::*;
 use cstf_tensor::datasets::THIRD_ORDER;
 use cstf_tensor::DenseMatrix;
 use rand::rngs::StdRng;
@@ -42,7 +42,8 @@ fn main() {
         );
 
         let cluster = Cluster::new(ClusterConfig::auto().nodes(8));
-        let rdd = tensor_to_rdd(&cluster, &tensor, 32).persist_now();
+        let rdd = tensor_to_rdd(&cluster, &tensor, 32).persist(StorageLevel::MemoryRaw);
+        let _ = rdd.count();
         let mut rows = Vec::new();
         for mode in 0..3 {
             let reduce_bytes = |combine: bool| -> u64 {

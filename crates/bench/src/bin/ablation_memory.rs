@@ -1,0 +1,179 @@
+//! Ablation: memory-governed storage in CP-ALS.
+//!
+//! ```text
+//! cargo run --release -p cstf-bench --bin ablation_memory -- \
+//!     [--scale 4000] [--seed 0] [--nodes 8] [--iters 2] [--tiny]
+//! ```
+//!
+//! Runs the QCOO pipeline under a sweep of block-manager budgets —
+//! unbounded, then {1.0, 0.5, 0.25}× the unbounded run's working set
+//! (its [`peak_memory_bytes`](cstf_dataflow::BlockManager::peak_memory_bytes)
+//! high-water mark) — with the tensor and queue RDDs persisted
+//! `MemoryAndDisk`. Reports evicted bytes, spilled bytes, lineage
+//! recomputes and modeled seconds per budget. Factors must stay
+//! bit-identical to the unbounded reference at every fraction; the run
+//! aborts otherwise.
+//!
+//! `--tiny` replaces the paper datasets with one small synthetic tensor
+//! (the CI smoke configuration). Results land in
+//! `results/BENCH_memory.json`.
+
+use cstf_bench::*;
+use cstf_core::{CpAls, CpResult, Strategy};
+use cstf_dataflow::prelude::*;
+use cstf_tensor::datasets::THIRD_ORDER;
+use cstf_tensor::random::RandomTensor;
+use cstf_tensor::CooTensor;
+
+const FRACTIONS: [Option<f64>; 4] = [None, Some(1.0), Some(0.5), Some(0.25)];
+
+fn run_budget(
+    tensor: &CooTensor,
+    budget: Option<u64>,
+    nodes: usize,
+    iters: usize,
+    seed: u64,
+) -> (Cluster, CpResult) {
+    let mut config = ClusterConfig::auto().nodes(nodes);
+    if let Some(b) = budget {
+        config = config.memory_budget(b);
+    }
+    let cluster = Cluster::new(config);
+    let result = CpAls::new(PAPER_RANK)
+        .strategy(Strategy::Qcoo)
+        .tensor_storage(StorageLevel::MemoryAndDisk)
+        .max_iterations(iters)
+        .skip_fit()
+        .seed(seed)
+        .run(&cluster, tensor)
+        .expect("CP-ALS run failed");
+    (cluster, result)
+}
+
+fn assert_bit_identical(a: &CpResult, b: &CpResult, what: &str) {
+    for (fa, fb) in a.kruskal.factors.iter().zip(b.kruskal.factors.iter()) {
+        for (x, y) in fa.data().iter().zip(fb.data().iter()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: factors diverged");
+        }
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let scale: f64 = args.parse("scale", 4000.0);
+    let seed: u64 = args.parse("seed", 0);
+    let nodes: usize = args.parse("nodes", 8);
+    let iters: usize = args.parse("iters", DEFAULT_ITERATIONS);
+    let tiny = args.flag("tiny");
+
+    let datasets: Vec<(String, CooTensor)> = if tiny {
+        vec![(
+            "tiny_synth".to_string(),
+            RandomTensor::new(vec![30, 24, 18])
+                .nnz(800)
+                .seed(seed)
+                .build(),
+        )]
+    } else {
+        THIRD_ORDER
+            .iter()
+            .map(|spec| (spec.name.to_string(), spec.generate(scale, seed)))
+            .collect()
+    };
+
+    let mut json_datasets = Vec::new();
+    for (name, tensor) in &datasets {
+        println!(
+            "\n=== Memory ablation: {} (shape {:?}, nnz {}, {} nodes, {} iters) ===",
+            name,
+            tensor.shape(),
+            tensor.nnz(),
+            nodes,
+            iters
+        );
+        let model = spark_model(scale);
+
+        // Unbounded reference: fixes the bit-identity baseline and the
+        // working-set size the budget fractions are cut from.
+        let (ref_cluster, reference) = run_budget(tensor, None, nodes, iters, seed);
+        let working_set = ref_cluster.block_manager().peak_memory_bytes();
+        assert!(working_set > 0, "reference run cached nothing");
+        println!("working set (peak resident bytes): {working_set}");
+
+        let mut rows = Vec::new();
+        let mut json_budgets = Vec::new();
+        for fraction in FRACTIONS {
+            let budget = fraction.map(|f| (working_set as f64 * f).ceil() as u64);
+            let (cluster, result) = run_budget(tensor, budget, nodes, iters, seed);
+            let label = match fraction {
+                None => "unbounded".to_string(),
+                Some(f) => format!("{f:.2}x"),
+            };
+            assert_bit_identical(&reference, &result, &format!("{name}/{label}"));
+
+            let bm = cluster.block_manager();
+            let metrics = cluster.metrics().snapshot();
+            let secs = model.job_time(&metrics);
+            rows.push(vec![
+                label,
+                budget.map_or("-".to_string(), |b| b.to_string()),
+                bm.evicted_bytes().to_string(),
+                bm.spilled_bytes().to_string(),
+                bm.recompute_count().to_string(),
+                format!("{secs:.2} s"),
+            ]);
+            json_budgets.push(format!(
+                concat!(
+                    "      {{\"fraction\": {}, \"budget_bytes\": {}, ",
+                    "\"evicted_bytes\": {}, \"spilled_bytes\": {}, ",
+                    "\"spill_read_bytes\": {}, \"recompute_count\": {}, ",
+                    "\"sim_secs\": {:.6}, \"bit_identical\": true}}"
+                ),
+                fraction.map_or("null".to_string(), |f| format!("{f}")),
+                budget.map_or("null".to_string(), |b| b.to_string()),
+                bm.evicted_bytes(),
+                bm.spilled_bytes(),
+                bm.spill_read_bytes(),
+                bm.recompute_count(),
+                secs
+            ));
+        }
+        print_table(
+            &[
+                "budget",
+                "budget bytes",
+                "evicted bytes",
+                "spilled bytes",
+                "recomputes",
+                "sim time",
+            ],
+            &rows,
+        );
+        json_datasets.push(format!(
+            "    {{\"dataset\": \"{}\", \"nnz\": {}, \"working_set_bytes\": {}, \"budgets\": [\n{}\n    ]}}",
+            name,
+            tensor.nnz(),
+            working_set,
+            json_budgets.join(",\n")
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n  \"experiment\": \"ablation_memory\",\n",
+            "  \"strategy\": \"QCOO\",\n  \"storage\": \"MemoryAndDisk\",\n",
+            "  \"rank\": {},\n  \"nodes\": {},\n",
+            "  \"iterations\": {},\n  \"seed\": {},\n  \"tiny\": {},\n",
+            "  \"datasets\": [\n{}\n  ]\n}}\n"
+        ),
+        PAPER_RANK,
+        nodes,
+        iters,
+        seed,
+        tiny,
+        json_datasets.join(",\n")
+    );
+    let path = results_dir().join("BENCH_memory.json");
+    std::fs::write(&path, json).expect("write JSON report");
+    println!("\n[wrote {}]", path.display());
+}

@@ -20,7 +20,7 @@
 
 use cstf_bench::*;
 use cstf_core::{CpAls, CpResult, Partitioning, Strategy};
-use cstf_dataflow::{Cluster, ClusterConfig, FaultConfig, JobMetrics};
+use cstf_dataflow::prelude::*;
 use cstf_tensor::datasets::THIRD_ORDER;
 use cstf_tensor::random::RandomTensor;
 use cstf_tensor::CooTensor;

@@ -14,7 +14,7 @@
 //! EXPERIMENTS.md.
 
 use cstf_bench::*;
-use cstf_dataflow::{Cluster, ClusterConfig};
+use cstf_dataflow::prelude::*;
 use cstf_tensor::datasets::{DELICIOUS3D, FLICKR};
 use cstf_tensor::CooTensor;
 

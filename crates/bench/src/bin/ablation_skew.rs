@@ -16,7 +16,7 @@
 
 use cstf_bench::*;
 use cstf_core::factors::tensor_to_rdd;
-use cstf_dataflow::{Cluster, ClusterConfig};
+use cstf_dataflow::prelude::*;
 use cstf_tensor::datasets::{DELICIOUS3D, NELL1, SYNT3D};
 
 fn main() {

@@ -14,7 +14,7 @@ use cstf_bench::*;
 use cstf_core::factors::tensor_to_rdd;
 use cstf_core::mttkrp::{mttkrp_coo, MttkrpOptions};
 use cstf_core::qcoo::QcooState;
-use cstf_dataflow::{Cluster, ClusterConfig, JobMetrics};
+use cstf_dataflow::prelude::*;
 use cstf_tensor::random::RandomTensor;
 use cstf_tensor::DenseMatrix;
 use rand::rngs::StdRng;
@@ -74,7 +74,8 @@ fn main() {
     // CSTF-COO.
     {
         let c = Cluster::new(ClusterConfig::local(4).nodes(4).default_parallelism(8));
-        let rdd = tensor_to_rdd(&c, &tensor, 8).persist_now();
+        let rdd = tensor_to_rdd(&c, &tensor, 8).persist(StorageLevel::MemoryRaw);
+        let _ = rdd.count();
         c.metrics().reset();
         let _ = mttkrp_coo(
             &c,
@@ -91,7 +92,8 @@ fn main() {
     // CSTF-QCOO steady-state step.
     {
         let c = Cluster::new(ClusterConfig::local(4).nodes(4).default_parallelism(8));
-        let rdd = tensor_to_rdd(&c, &tensor, 8).persist_now();
+        let rdd = tensor_to_rdd(&c, &tensor, 8).persist(StorageLevel::MemoryRaw);
+        let _ = rdd.count();
         let mut q = QcooState::init(&c, &rdd, &factors, tensor.shape(), rank, 8).unwrap();
         c.metrics().reset();
         let _ = q.step(&factors[2]).unwrap();

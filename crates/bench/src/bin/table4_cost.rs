@@ -22,7 +22,7 @@ use cstf_core::cost::{mttkrp_cost, Algorithm};
 use cstf_core::factors::tensor_to_rdd;
 use cstf_core::mttkrp::{mttkrp_coo, MttkrpOptions};
 use cstf_core::qcoo::QcooState;
-use cstf_dataflow::{Cluster, ClusterConfig};
+use cstf_dataflow::prelude::*;
 use cstf_tensor::datasets::SYNT3D;
 use cstf_tensor::DenseMatrix;
 use rand::rngs::StdRng;
@@ -53,7 +53,8 @@ fn main() {
     // CSTF-COO.
     {
         let c = Cluster::new(ClusterConfig::auto().nodes(8));
-        let rdd = tensor_to_rdd(&c, &tensor, 32).persist_now();
+        let rdd = tensor_to_rdd(&c, &tensor, 32).persist(StorageLevel::MemoryRaw);
+        let _ = rdd.count();
         c.metrics().reset();
         let _ = mttkrp_coo(
             &c,
@@ -76,7 +77,8 @@ fn main() {
     // CSTF-QCOO (steady-state step; queue already initialized).
     {
         let c = Cluster::new(ClusterConfig::auto().nodes(8));
-        let rdd = tensor_to_rdd(&c, &tensor, 32).persist_now();
+        let rdd = tensor_to_rdd(&c, &tensor, 32).persist(StorageLevel::MemoryRaw);
+        let _ = rdd.count();
         let mut q =
             QcooState::init(&c, &rdd, &factors, tensor.shape(), rank, 32).expect("QCOO init");
         c.metrics().reset();

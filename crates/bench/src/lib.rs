@@ -7,8 +7,7 @@
 //! standard run configurations.
 
 use cstf_core::{CpAls, CpResult, Strategy};
-use cstf_dataflow::sim::TimeModel;
-use cstf_dataflow::{Cluster, ClusterConfig, JobMetrics};
+use cstf_dataflow::prelude::*;
 use cstf_tensor::CooTensor;
 use std::collections::BTreeMap;
 use std::path::PathBuf;

@@ -29,7 +29,7 @@
 use crate::factors::{factor_to_rdd, rows_to_matrix, tensor_storage_bytes, tensor_to_rdd};
 use crate::records::{scale_row, CooRecord, Row};
 use crate::{CpResult, CstfError, DecompositionStats, Result, Strategy};
-use cstf_dataflow::{Cluster, Rdd};
+use cstf_dataflow::prelude::*;
 use cstf_tensor::linalg::solve_normal_equations;
 use cstf_tensor::matricize::{unfold_column, unfold_strides};
 use cstf_tensor::{CooTensor, DenseMatrix, KruskalTensor};
@@ -90,7 +90,7 @@ pub fn bigtensor_mttkrp(
         let col = unfold_column(&rec.coord, &strides1);
         (rec.coord[p], ((rec.coord[mode], col), rec.val))
     });
-    let fp = factor_to_rdd(cluster, &factors[p], partitions);
+    let fp = factor_to_rdd(cluster, &factors[p], partitions, None);
     let stage1: Rdd<(u32, (u64, Row))> = keyed_p
         .join_with(&fp, partitions)
         .map(move |(_, ((cell, x), row))| (cell.0, (cell.1, scale_row(row, x))));
@@ -102,7 +102,7 @@ pub fn bigtensor_mttkrp(
         let col = unfold_column(&rec.coord, &strides2);
         (rec.coord[q], (rec.coord[mode], col))
     });
-    let fq = factor_to_rdd(cluster, &factors[q], partitions);
+    let fq = factor_to_rdd(cluster, &factors[q], partitions, None);
     let stage2: Rdd<(u32, (u64, Row))> = keyed_q
         .join_with(&fq, partitions)
         .map(move |(_, ((i, col), row))| (i, (col, row)));

@@ -25,7 +25,7 @@
 use crate::factors::tensor_to_rdd;
 use crate::records::CooRecord;
 use crate::{CstfError, Result};
-use cstf_dataflow::{Cluster, EstimateSize, Rdd};
+use cstf_dataflow::prelude::*;
 use cstf_tensor::linalg::solve_spd;
 use cstf_tensor::{CooTensor, DenseMatrix, KruskalTensor};
 use rand::rngs::StdRng;
@@ -129,7 +129,8 @@ impl CpCompletion {
             .unwrap_or(cluster.config().default_parallelism);
 
         cluster.metrics().set_scope("Other");
-        let observed = tensor_to_rdd(cluster, tensor, partitions).persist_now();
+        let observed = tensor_to_rdd(cluster, tensor, partitions).persist(StorageLevel::MemoryRaw);
+        let _ = observed.count();
 
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut factors: Vec<DenseMatrix> = shape

@@ -7,12 +7,12 @@
 //! factor is only computed once per CP-ALS iteration", §4.2); columns are
 //! normalized after every update with the norms kept as `λ`.
 
-use crate::factors::{tensor_to_rdd, tensor_to_rdd_partitioned};
+use crate::factors::{tensor_to_rdd, tensor_to_rdd_keyed};
 use crate::mttkrp::{join_order, mttkrp_coo, mttkrp_coo_broadcast, mttkrp_coo_pre, MttkrpOptions};
-use crate::qcoo::QcooState;
+use crate::qcoo::{QcooOptions, QcooState};
 use crate::records::CooRecord;
 use crate::{CstfError, Result};
-use cstf_dataflow::{Cluster, HashPartitioner, KeyPartitioner, Rdd};
+use cstf_dataflow::prelude::*;
 use cstf_tensor::linalg::solve_normal_equations;
 use cstf_tensor::{CooTensor, DenseMatrix, KruskalTensor};
 use rand::rngs::StdRng;
@@ -84,6 +84,7 @@ pub struct CpAls {
     compute_fit: bool,
     nonnegative: bool,
     cache_tensor: bool,
+    tensor_storage: StorageLevel,
     init: Option<KruskalTensor>,
 }
 
@@ -103,6 +104,7 @@ impl CpAls {
             compute_fit: true,
             nonnegative: false,
             cache_tensor: true,
+            tensor_storage: StorageLevel::MemoryRaw,
             init: None,
         }
     }
@@ -168,6 +170,18 @@ impl CpAls {
         self
     }
 
+    /// Storage level for every persisted dataset of the run: the tensor
+    /// record RDD (COO), the pre-keyed tensor copies, and QCOO's carried
+    /// queue state. Defaults to [`StorageLevel::MemoryRaw`]. Pick a
+    /// spilling level (e.g. [`StorageLevel::MemoryAndDisk`]) to run under
+    /// a [`cstf_dataflow::ClusterConfig::memory_budget`] smaller than the
+    /// working set — factors stay bit-identical, the time model charges
+    /// the spill traffic.
+    pub fn tensor_storage(mut self, level: StorageLevel) -> Self {
+        self.tensor_storage = level;
+        self
+    }
+
     /// Warm-starts from an existing decomposition instead of random
     /// factors (extension: incremental refreshes over evolving tensors —
     /// see the `streaming_updates` example). The weights are folded into
@@ -217,20 +231,25 @@ impl CpAls {
         let tensor_rdd = if use_pre {
             None
         } else if self.cache_tensor {
-            Some(tensor_to_rdd(cluster, tensor, partitions).persist_now())
+            let rdd = tensor_to_rdd(cluster, tensor, partitions).persist(self.tensor_storage);
+            let _ = rdd.count();
+            Some(rdd)
         } else {
             Some(tensor_to_rdd(cluster, tensor, partitions))
         };
         let pre_keyed: Vec<(usize, Rdd<(u32, CooRecord)>)> = if use_pre {
             let partitioner: Arc<dyn KeyPartitioner<u32>> =
                 Arc::new(HashPartitioner::new(partitions));
+            let pref = PartitionerRef::of(partitioner);
             [order - 1, order - 2]
                 .into_iter()
                 .map(|key_mode| {
                     let rdd =
-                        tensor_to_rdd_partitioned(cluster, tensor, key_mode, partitioner.clone());
+                        tensor_to_rdd_keyed(cluster, tensor, key_mode, partitions, Some(&pref));
                     let rdd = if self.cache_tensor {
-                        rdd.persist_now()
+                        let rdd = rdd.persist(self.tensor_storage);
+                        let _ = rdd.count();
+                        rdd
                     } else {
                         rdd
                     };
@@ -289,7 +308,10 @@ impl CpAls {
                 &shape,
                 self.rank,
                 partitions,
-                co_factors,
+                QcooOptions {
+                    co_partition_factors: co_factors,
+                    storage: self.tensor_storage,
+                },
             )?),
             Strategy::Coo | Strategy::CooBroadcast => None,
         };

@@ -6,44 +6,47 @@
 //! solves) and the cluster (row-RDD form, for joins against tensor keys).
 
 use crate::records::Row;
-use cstf_dataflow::{Cluster, KeyPartitioner, Rdd};
+use cstf_dataflow::prelude::*;
 use cstf_tensor::{CooTensor, DenseMatrix};
 use std::sync::Arc;
 
 use crate::records::CooRecord;
 
+/// Recovers the `u32`-keyed partitioner behind a [`PartitionerRef`],
+/// panicking with a clear message when the ref was built for another key
+/// type (a driver-side configuration bug, not a data error).
+fn u32_partitioner(partitioner: &PartitionerRef) -> Arc<dyn KeyPartitioner<u32>> {
+    partitioner
+        .downcast::<u32>()
+        .expect("partitioner passed to a factor/tensor RDD must be keyed by u32")
+}
+
 /// Distributes a factor matrix as an RDD of `(row_index, row)` records
 /// (the paper's `IndexedRowMatrix`).
+///
+/// With `partitioner: None` the rows are split into `partitions` even
+/// chunks and any downstream join shuffles them. With `Some(p)` the rows
+/// are pre-bucketed by `p` on the driver and the RDD carries `p` as
+/// provenance, so joining against a tensor RDD keyed by the same
+/// partitioner turns the factor side of the join into a narrow
+/// (zero-shuffle) dependency; `partitions` is ignored. Row order within
+/// each bucket matches what a shuffle of the unpartitioned variant would
+/// deliver, so downstream results stay bit-identical either way.
 pub fn factor_to_rdd(
     cluster: &Cluster,
     factor: &DenseMatrix,
     partitions: usize,
+    partitioner: Option<&PartitionerRef>,
 ) -> Rdd<(u32, Row)> {
     let rows: Vec<(u32, Row)> = factor
         .rows_iter()
         .enumerate()
         .map(|(i, row)| (i as u32, row.into()))
         .collect();
-    cluster.parallelize(rows, partitions)
-}
-
-/// [`factor_to_rdd`], but pre-bucketed by `partitioner` on the driver and
-/// carrying that partitioner as provenance. Joining the result against a
-/// tensor RDD keyed by the same partitioner turns the factor side of the
-/// join into a narrow (zero-shuffle) dependency. Row order within each
-/// bucket matches what a shuffle of [`factor_to_rdd`]'s output would
-/// deliver, so downstream results stay bit-identical.
-pub fn factor_to_rdd_partitioned(
-    cluster: &Cluster,
-    factor: &DenseMatrix,
-    partitioner: Arc<dyn KeyPartitioner<u32>>,
-) -> Rdd<(u32, Row)> {
-    let rows: Vec<(u32, Row)> = factor
-        .rows_iter()
-        .enumerate()
-        .map(|(i, row)| (i as u32, row.into()))
-        .collect();
-    cluster.parallelize_by_key(rows, partitioner)
+    match partitioner {
+        Some(p) => cluster.parallelize_by_key(rows, u32_partitioner(p)),
+        None => cluster.parallelize(rows, partitions),
+    }
 }
 
 /// Assembles collected `(row_index, row)` records into a dense `extent × rank`
@@ -75,17 +78,22 @@ pub fn tensor_to_rdd(cluster: &Cluster, tensor: &CooTensor, partitions: usize) -
         .map(|(coord, val)| CooRecord { coord, val })
 }
 
-/// Distributes a sparse tensor keyed by `coord[key_mode]`, pre-bucketed by
-/// `partitioner` on the driver — the `pre_partition(mode)` variant of
-/// [`tensor_to_rdd`]. When the first join of an MTTKRP targets `key_mode`
-/// and uses the same partitioner, the tensor side of that join is narrow
-/// too, removing the one remaining tensor-sized shuffle of stage 1 (see
-/// [`crate::mttkrp::mttkrp_coo_pre`]).
-pub fn tensor_to_rdd_partitioned(
+/// Distributes a sparse tensor keyed by `coord[key_mode]` — the
+/// `pre_partition(mode)` variant of [`tensor_to_rdd`].
+///
+/// With `partitioner: Some(p)` the entries are pre-bucketed by `p` on the
+/// driver (and `partitions` is ignored); when the first join of an MTTKRP
+/// targets `key_mode` and uses the same partitioner, the tensor side of
+/// that join is narrow too, removing the one remaining tensor-sized
+/// shuffle of stage 1 (see [`crate::mttkrp::mttkrp_coo_pre`]). With
+/// `None` the keyed entries are split into `partitions` even chunks and
+/// the first join shuffles them as usual.
+pub fn tensor_to_rdd_keyed(
     cluster: &Cluster,
     tensor: &CooTensor,
     key_mode: usize,
-    partitioner: Arc<dyn KeyPartitioner<u32>>,
+    partitions: usize,
+    partitioner: Option<&PartitionerRef>,
 ) -> Rdd<(u32, CooRecord)> {
     assert!(key_mode < tensor.order(), "key mode out of range");
     type RawEntry = (u32, (Box<[u32]>, f64));
@@ -93,9 +101,11 @@ pub fn tensor_to_rdd_partitioned(
         .iter()
         .map(|(coord, val)| (coord[key_mode], (Box::<[u32]>::from(coord), val)))
         .collect();
-    cluster
-        .parallelize_by_key(raw, partitioner)
-        .map_values(|(coord, val)| CooRecord { coord, val })
+    let keyed = match partitioner {
+        Some(p) => cluster.parallelize_by_key(raw, u32_partitioner(p)),
+        None => cluster.parallelize(raw, partitions),
+    };
+    keyed.map_values(|(coord, val)| CooRecord { coord, val })
 }
 
 /// Serialized size of a COO tensor on distributed storage: `N` u32 indices
@@ -108,7 +118,7 @@ pub fn tensor_storage_bytes(nnz: usize, order: usize) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cstf_dataflow::ClusterConfig;
+    use cstf_dataflow::{ClusterConfig, HashPartitioner};
     use cstf_tensor::random::RandomTensor;
 
     fn cluster() -> Cluster {
@@ -119,8 +129,22 @@ mod tests {
     fn factor_roundtrip() {
         let c = cluster();
         let m = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
-        let rdd = factor_to_rdd(&c, &m, 2);
+        let rdd = factor_to_rdd(&c, &m, 2, None);
         assert_eq!(rdd.count(), 3);
+        let back = rows_to_matrix(rdd.collect(), 3, 2);
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn partitioned_factor_carries_provenance() {
+        let c = cluster();
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let p: Arc<dyn KeyPartitioner<u32>> = Arc::new(HashPartitioner::new(2));
+        let pref = PartitionerRef::of(p);
+        let rdd = factor_to_rdd(&c, &m, 7, Some(&pref));
+        // `partitions` is ignored: the partitioner decides the layout.
+        assert_eq!(rdd.num_partitions(), 2);
+        assert!(rdd.partitioner().is_some());
         let back = rows_to_matrix(rdd.collect(), 3, 2);
         assert_eq!(back, m);
     }
@@ -144,6 +168,17 @@ mod tests {
         for (z, rec) in collected.iter().enumerate() {
             assert_eq!(rec.coord.as_ref(), t.coord(z));
             assert_eq!(rec.val, t.value(z));
+        }
+    }
+
+    #[test]
+    fn keyed_tensor_matches_flat_tensor() {
+        let c = cluster();
+        let t = RandomTensor::new(vec![10, 10, 10]).nnz(50).seed(2).build();
+        let keyed = tensor_to_rdd_keyed(&c, &t, 1, 4, None).collect();
+        assert_eq!(keyed.len(), 50);
+        for (k, rec) in &keyed {
+            assert_eq!(*k, rec.coord[1]);
         }
     }
 

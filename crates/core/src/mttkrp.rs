@@ -31,10 +31,10 @@
 //! bit-identical in every case: buckets receive the same records in the
 //! same order whether they travel through a shuffle or are read narrowly.
 
-use crate::factors::{factor_to_rdd, factor_to_rdd_partitioned, rows_to_matrix};
+use crate::factors::{factor_to_rdd, rows_to_matrix};
 use crate::records::{add_rows, hadamard_rows, scale_row, CooRecord, Row};
 use crate::{CstfError, Result};
-use cstf_dataflow::{Cluster, HashPartitioner, KeyPartitioner, Rdd};
+use cstf_dataflow::prelude::*;
 use cstf_tensor::DenseMatrix;
 use std::sync::Arc;
 
@@ -124,7 +124,7 @@ pub fn mttkrp_coo(
 ///
 /// When `keyed` carries partitioner provenance matching the join
 /// partitioner (built with
-/// [`crate::factors::tensor_to_rdd_partitioned`]), stage 1's tensor-sized
+/// [`crate::factors::tensor_to_rdd_keyed`]), stage 1's tensor-sized
 /// shuffle disappears too: with co-partitioned factors an order-3 MTTKRP
 /// runs 2 raw shuffle-map stages (stage-2 re-key + final reduce) instead
 /// of 5. Results are bit-identical to [`mttkrp_coo`].
@@ -155,12 +155,10 @@ fn mttkrp_coo_keyed(
     // One shared partitioner threads through every stage; with
     // `co_partition_factors` the factor side of each join is narrow.
     let partitioner: Arc<dyn KeyPartitioner<u32>> = Arc::new(HashPartitioner::new(partitions));
+    let pref = PartitionerRef::of(partitioner.clone());
     let factor_rdd_for = |m: usize| -> Rdd<(u32, Row)> {
-        if opts.co_partition_factors {
-            factor_to_rdd_partitioned(cluster, &factors[m], partitioner.clone())
-        } else {
-            factor_to_rdd(cluster, &factors[m], partitions)
-        }
+        let co = opts.co_partition_factors.then_some(&pref);
+        factor_to_rdd(cluster, &factors[m], partitions, co)
     };
 
     let joins = join_order(shape.len(), mode);
@@ -285,7 +283,7 @@ mod tests {
 
     fn run_all_modes(t: &CooTensor, rank: usize, seed: u64) {
         let c = cluster();
-        let rdd = tensor_to_rdd(&c, t, 8).cache();
+        let rdd = tensor_to_rdd(&c, t, 8).persist(StorageLevel::MemoryRaw);
         let factors = random_factors(t.shape(), rank, seed);
         let refs: Vec<&DenseMatrix> = factors.iter().collect();
         for mode in 0..t.order() {
@@ -339,7 +337,8 @@ mod tests {
         // 1 reduceByKey (Table 4: 3 for a 3rd-order tensor).
         let t = RandomTensor::new(vec![10, 10, 10]).nnz(300).seed(6).build();
         let c = cluster();
-        let rdd = tensor_to_rdd(&c, &t, 8).persist_now();
+        let rdd = tensor_to_rdd(&c, &t, 8).persist(StorageLevel::MemoryRaw);
+        let _ = rdd.count();
         let factors = random_factors(t.shape(), 2, 1);
         c.metrics().reset();
         let _ = mttkrp_coo(&c, &rdd, &factors, t.shape(), 0, &MttkrpOptions::default()).unwrap();
@@ -359,7 +358,8 @@ mod tests {
         // preserved: 2 joins × 2 sides + 1 reduce = 5 shuffle-map stages.
         let t = RandomTensor::new(vec![10, 10, 10]).nnz(300).seed(6).build();
         let c = cluster();
-        let rdd = tensor_to_rdd(&c, &t, 8).persist_now();
+        let rdd = tensor_to_rdd(&c, &t, 8).persist(StorageLevel::MemoryRaw);
+        let _ = rdd.count();
         let factors = random_factors(t.shape(), 2, 1);
         c.metrics().reset();
         let opts = MttkrpOptions {
@@ -376,7 +376,8 @@ mod tests {
     fn co_partitioned_factors_bit_identical_to_legacy() {
         let t = RandomTensor::new(vec![14, 11, 9]).nnz(250).seed(21).build();
         let c = cluster();
-        let rdd = tensor_to_rdd(&c, &t, 8).persist_now();
+        let rdd = tensor_to_rdd(&c, &t, 8).persist(StorageLevel::MemoryRaw);
+        let _ = rdd.count();
         let factors = random_factors(t.shape(), 3, 22);
         let legacy_opts = MttkrpOptions {
             co_partition_factors: false,
@@ -403,8 +404,8 @@ mod tests {
 
     #[test]
     fn pre_partitioned_tensor_runs_two_stages_bit_identically() {
-        use crate::factors::tensor_to_rdd_partitioned;
-        use cstf_dataflow::HashPartitioner;
+        use crate::factors::tensor_to_rdd_keyed;
+        use cstf_dataflow::{HashPartitioner, PartitionerRef};
         use std::sync::Arc;
 
         let t = RandomTensor::new(vec![10, 10, 10]).nnz(300).seed(6).build();
@@ -419,12 +420,16 @@ mod tests {
         };
 
         let baseline = {
-            let rdd = tensor_to_rdd(&c, &t, partitions).persist_now();
+            let rdd = tensor_to_rdd(&c, &t, partitions).persist(StorageLevel::MemoryRaw);
+            let _ = rdd.count();
             mttkrp_coo(&c, &rdd, &factors, t.shape(), mode, &opts).unwrap()
         };
 
-        let p: Arc<HashPartitioner> = Arc::new(HashPartitioner::new(partitions));
-        let keyed = tensor_to_rdd_partitioned(&c, &t, first, p).persist_now();
+        let p: Arc<dyn KeyPartitioner<u32>> = Arc::new(HashPartitioner::new(partitions));
+        let pref = PartitionerRef::of(p);
+        let keyed = tensor_to_rdd_keyed(&c, &t, first, partitions, Some(&pref))
+            .persist(StorageLevel::MemoryRaw);
+        let _ = keyed.count();
         c.metrics().reset();
         let fast = mttkrp_coo_pre(&c, &keyed, &factors, t.shape(), mode, &opts).unwrap();
         let m = c.metrics().snapshot();
@@ -448,7 +453,8 @@ mod tests {
         // record). Check the reduce stage's written bytes.
         let t = RandomTensor::new(vec![20, 20, 20]).nnz(500).seed(7).build();
         let c = cluster();
-        let rdd = tensor_to_rdd(&c, &t, 8).persist_now();
+        let rdd = tensor_to_rdd(&c, &t, 8).persist(StorageLevel::MemoryRaw);
+        let _ = rdd.count();
         let rank = 4;
         let factors = random_factors(t.shape(), rank, 2);
         c.metrics().reset();
@@ -480,7 +486,8 @@ mod tests {
     fn broadcast_matches_shuffle_join_all_modes() {
         let t = RandomTensor::new(vec![12, 9, 15]).nnz(200).seed(8).build();
         let c = cluster();
-        let rdd = tensor_to_rdd(&c, &t, 8).persist_now();
+        let rdd = tensor_to_rdd(&c, &t, 8).persist(StorageLevel::MemoryRaw);
+        let _ = rdd.count();
         let factors = random_factors(t.shape(), 3, 14);
         for mode in 0..3 {
             let shuffle = mttkrp_coo(
@@ -509,7 +516,8 @@ mod tests {
     fn broadcast_uses_one_shuffle_and_meters_broadcast_bytes() {
         let t = RandomTensor::new(vec![10, 10, 10]).nnz(300).seed(9).build();
         let c = cluster();
-        let rdd = tensor_to_rdd(&c, &t, 8).persist_now();
+        let rdd = tensor_to_rdd(&c, &t, 8).persist(StorageLevel::MemoryRaw);
+        let _ = rdd.count();
         let factors = random_factors(t.shape(), 2, 15);
         c.metrics().reset();
         let _ = mttkrp_coo_broadcast(&c, &rdd, &factors, t.shape(), 0, &MttkrpOptions::default())
@@ -525,7 +533,8 @@ mod tests {
         // Mode with few distinct indices: combining collapses records.
         let t = RandomTensor::new(vec![4, 40, 40]).nnz(400).seed(10).build();
         let c = cluster();
-        let rdd = tensor_to_rdd(&c, &t, 8).persist_now();
+        let rdd = tensor_to_rdd(&c, &t, 8).persist(StorageLevel::MemoryRaw);
+        let _ = rdd.count();
         let factors = random_factors(t.shape(), 2, 16);
         let reduce_bytes = |combine: bool| {
             c.metrics().reset();

@@ -19,12 +19,35 @@
 //! `(N−1)·nnz·R` carried state. The state RDD is cached after each
 //! rotation and the previous one unpersisted, exactly as §4.2 describes.
 
-use crate::factors::{factor_to_rdd, factor_to_rdd_partitioned, rows_to_matrix};
+use crate::factors::{factor_to_rdd, rows_to_matrix};
 use crate::records::{add_rows, CooRecord, QRecord};
 use crate::{CstfError, Result};
-use cstf_dataflow::{Cluster, HashPartitioner, KeyPartitioner, Rdd};
+use cstf_dataflow::prelude::*;
 use cstf_tensor::DenseMatrix;
 use std::sync::Arc;
+
+/// Options for [`QcooState::init_with`].
+#[derive(Debug, Clone)]
+pub struct QcooOptions {
+    /// Pre-partition factor-row RDDs by the join partitioner so the factor
+    /// side of every join is narrow (default on; disable to reproduce the
+    /// pre-partitioner stage structure).
+    pub co_partition_factors: bool,
+    /// Storage level for the carried queue state — both the initial
+    /// N−1-join prologue and every rotated state RDD. Levels that spill
+    /// let the queue (the `(N−1)·nnz·R` payload, QCOO's dominant resident
+    /// cost) run under a memory budget smaller than the working set.
+    pub storage: StorageLevel,
+}
+
+impl Default for QcooOptions {
+    fn default() -> Self {
+        QcooOptions {
+            co_partition_factors: true,
+            storage: StorageLevel::MemoryRaw,
+        }
+    }
+}
 
 /// The persistent distributed state of a QCOO CP-ALS run.
 ///
@@ -50,6 +73,8 @@ pub struct QcooState {
     /// Pre-partition factor-row RDDs by the join partitioner so the factor
     /// side of every join is narrow (no shuffle-map stage).
     co_partition_factors: bool,
+    /// Storage level applied to each rotated state RDD.
+    storage: StorageLevel,
 }
 
 impl QcooState {
@@ -65,12 +90,19 @@ impl QcooState {
         rank: usize,
         partitions: usize,
     ) -> Result<Self> {
-        Self::init_with(cluster, tensor, factors, shape, rank, partitions, true)
+        Self::init_with(
+            cluster,
+            tensor,
+            factors,
+            shape,
+            rank,
+            partitions,
+            QcooOptions::default(),
+        )
     }
 
-    /// [`QcooState::init`] with explicit control over factor
-    /// co-partitioning (`init` defaults to on; disable it to reproduce the
-    /// pre-partitioner stage structure).
+    /// [`QcooState::init`] with explicit [`QcooOptions`] (factor
+    /// co-partitioning, queue storage level).
     #[allow(clippy::too_many_arguments)]
     pub fn init_with(
         cluster: &Cluster,
@@ -79,7 +111,7 @@ impl QcooState {
         shape: &[u32],
         rank: usize,
         partitions: usize,
-        co_partition_factors: bool,
+        opts: QcooOptions,
     ) -> Result<Self> {
         let order = shape.len();
         if order < 2 {
@@ -95,13 +127,15 @@ impl QcooState {
         }
         let capacity = order - 1;
         let partitioner: Arc<dyn KeyPartitioner<u32>> = Arc::new(HashPartitioner::new(partitions));
+        let pref = PartitionerRef::of(partitioner.clone());
         let mut state: Rdd<(u32, QRecord)> = tensor.map(|rec| (rec.coord[0], QRecord::new(rec)));
         for (m, factor) in factors.iter().enumerate().take(order - 1) {
-            let factor_rdd = if co_partition_factors {
-                factor_to_rdd_partitioned(cluster, factor, partitioner.clone())
-            } else {
-                factor_to_rdd(cluster, factor, partitions)
-            };
+            let factor_rdd = factor_to_rdd(
+                cluster,
+                factor,
+                partitions,
+                opts.co_partition_factors.then_some(&pref),
+            );
             let next = m + 1;
             state =
                 state
@@ -114,7 +148,8 @@ impl QcooState {
         // Materialize eagerly: the N−1 initialization shuffles are the
         // prologue overhead the paper attributes to queue setup, and they
         // must be paid (and recorded) here, not inside the first step.
-        let state = state.persist_now();
+        let state = state.persist(opts.storage);
+        let _ = state.count();
         Ok(QcooState {
             cluster: cluster.clone(),
             state,
@@ -124,7 +159,8 @@ impl QcooState {
             key_mode: order - 1,
             steps_taken: 0,
             checkpoint_interval: 8,
-            co_partition_factors,
+            co_partition_factors: opts.co_partition_factors,
+            storage: opts.storage,
         })
     }
 
@@ -184,11 +220,13 @@ impl QcooState {
         let capacity = order - 1;
         let partitioner: Arc<dyn KeyPartitioner<u32>> =
             Arc::new(HashPartitioner::new(self.partitions));
-        let factor_rdd = if self.co_partition_factors {
-            factor_to_rdd_partitioned(&self.cluster, factor_of_key_mode, partitioner.clone())
-        } else {
-            factor_to_rdd(&self.cluster, factor_of_key_mode, self.partitions)
-        };
+        let pref = PartitionerRef::of(partitioner.clone());
+        let factor_rdd = factor_to_rdd(
+            &self.cluster,
+            factor_of_key_mode,
+            self.partitions,
+            self.co_partition_factors.then_some(&pref),
+        );
         // STAGE 1 (join) + STAGE 2 (rotate & re-key) — one shuffle (the
         // factor side is narrow when co-partitioned).
         let rotated_raw =
@@ -198,14 +236,14 @@ impl QcooState {
                     q.rotate(row, capacity);
                     (q.entry.coord[out_mode], q)
                 });
-        // Periodic lineage truncation; otherwise in-memory caching, as
-        // §4.2 describes.
+        // Periodic lineage truncation; otherwise persistence at the
+        // configured level, as §4.2 describes.
         let rotated = if self.checkpoint_interval > 0
             && (self.steps_taken + 1).is_multiple_of(self.checkpoint_interval)
         {
             rotated_raw.checkpoint()
         } else {
-            rotated_raw.cache()
+            rotated_raw.persist(self.storage)
         };
 
         // STAGE 3: reduce queues and sum per output row — second shuffle.
@@ -259,7 +297,7 @@ mod tests {
     /// the same MTTKRP outputs as the sequential reference.
     fn check_full_cycle(t: &CooTensor, rank: usize, seed: u64) {
         let c = cluster();
-        let rdd = tensor_to_rdd(&c, t, 8).cache();
+        let rdd = tensor_to_rdd(&c, t, 8).persist(StorageLevel::MemoryRaw);
         let factors = random_factors(t.shape(), rank, seed);
         let refs: Vec<&DenseMatrix> = factors.iter().collect();
         let mut q = QcooState::init(&c, &rdd, &factors, t.shape(), rank, 16).unwrap();
@@ -293,7 +331,7 @@ mod tests {
         // must still match (this is the steady state CP-ALS runs in).
         let t = RandomTensor::new(vec![10, 8, 9]).nnz(120).seed(5).build();
         let c = cluster();
-        let rdd = tensor_to_rdd(&c, &t, 8).cache();
+        let rdd = tensor_to_rdd(&c, &t, 8).persist(StorageLevel::MemoryRaw);
         let factors = random_factors(t.shape(), 2, 23);
         let refs: Vec<&DenseMatrix> = factors.iter().collect();
         let mut q = QcooState::init(&c, &rdd, &factors, t.shape(), 2, 16).unwrap();
@@ -313,7 +351,7 @@ mod tests {
         // must reflect the new values (the data-reuse flow of Figure 1).
         let t = RandomTensor::new(vec![6, 7, 8]).nnz(60).seed(6).build();
         let c = cluster();
-        let rdd = tensor_to_rdd(&c, &t, 4).cache();
+        let rdd = tensor_to_rdd(&c, &t, 4).persist(StorageLevel::MemoryRaw);
         let mut factors = random_factors(t.shape(), 2, 24);
         let mut q = QcooState::init(&c, &rdd, &factors, t.shape(), 2, 8).unwrap();
 
@@ -333,7 +371,8 @@ mod tests {
         // Table 4: QCOO performs 2 tensor-sized shuffles per MTTKRP.
         let t = RandomTensor::new(vec![10, 10, 10]).nnz(300).seed(7).build();
         let c = cluster();
-        let rdd = tensor_to_rdd(&c, &t, 8).persist_now();
+        let rdd = tensor_to_rdd(&c, &t, 8).persist(StorageLevel::MemoryRaw);
+        let _ = rdd.count();
         let factors = random_factors(t.shape(), 2, 25);
         let mut q = QcooState::init(&c, &rdd, &factors, t.shape(), 2, 16).unwrap();
         c.metrics().reset();
@@ -346,7 +385,8 @@ mod tests {
     fn old_state_is_unpersisted() {
         let t = RandomTensor::new(vec![8, 8, 8]).nnz(100).seed(8).build();
         let c = cluster();
-        let rdd = tensor_to_rdd(&c, &t, 4).persist_now();
+        let rdd = tensor_to_rdd(&c, &t, 4).persist(StorageLevel::MemoryRaw);
+        let _ = rdd.count();
         let factors = random_factors(t.shape(), 2, 26);
         let blocks_before_init = c.block_manager().len();
         let mut q = QcooState::init(&c, &rdd, &factors, t.shape(), 2, 8).unwrap();
@@ -365,7 +405,8 @@ mod tests {
     fn long_run_with_checkpointing_stays_correct_and_bounded() {
         let t = RandomTensor::new(vec![9, 8, 7]).nnz(100).seed(77).build();
         let c = cluster();
-        let rdd = tensor_to_rdd(&c, &t, 4).persist_now();
+        let rdd = tensor_to_rdd(&c, &t, 4).persist(StorageLevel::MemoryRaw);
+        let _ = rdd.count();
         let factors = random_factors(t.shape(), 2, 78);
         let refs: Vec<&DenseMatrix> = factors.iter().collect();
         let mut q = QcooState::init(&c, &rdd, &factors, t.shape(), 2, 8)
@@ -392,10 +433,16 @@ mod tests {
     fn co_partitioned_step_runs_two_stages_and_matches_legacy_bitwise() {
         let t = RandomTensor::new(vec![10, 10, 10]).nnz(300).seed(7).build();
         let c = cluster();
-        let rdd = tensor_to_rdd(&c, &t, 8).persist_now();
+        let rdd = tensor_to_rdd(&c, &t, 8).persist(StorageLevel::MemoryRaw);
+        let _ = rdd.count();
         let factors = random_factors(t.shape(), 2, 25);
 
-        let mut legacy = QcooState::init_with(&c, &rdd, &factors, t.shape(), 2, 16, false).unwrap();
+        let legacy_opts = QcooOptions {
+            co_partition_factors: false,
+            ..QcooOptions::default()
+        };
+        let mut legacy =
+            QcooState::init_with(&c, &rdd, &factors, t.shape(), 2, 16, legacy_opts).unwrap();
         let (_, m_legacy) = legacy.step(&factors[2]).unwrap();
         legacy.release();
 
@@ -438,7 +485,8 @@ mod tests {
             .build();
         let rank = 2;
         let c = cluster();
-        let rdd = tensor_to_rdd(&c, &t, 8).persist_now();
+        let rdd = tensor_to_rdd(&c, &t, 8).persist(StorageLevel::MemoryRaw);
+        let _ = rdd.count();
         let factors = random_factors(t.shape(), rank, 28);
         let mut q = QcooState::init(&c, &rdd, &factors, t.shape(), rank, 16).unwrap();
         c.metrics().reset();

@@ -6,7 +6,7 @@
 //! | `X_Q`   | `((i, j, k, X(i,j,k)), Queue(A(i,:), B(j,:), …))`            | [`QRecord`] |
 //! | `A,B,C` | `IndexedRowMatrix` row: `(index, A(index,:))`                | `(u32, Row)` |
 
-use cstf_dataflow::EstimateSize;
+use cstf_dataflow::prelude::*;
 use std::collections::VecDeque;
 
 /// One dense factor-matrix row (length `R`).

@@ -1,4 +1,4 @@
-//! Block manager: in-memory RDD caching.
+//! Block manager: memory-governed RDD caching.
 //!
 //! CSTF caches the tensor RDD so CP-ALS iterations reuse it without
 //! recomputation ("keeping the tensor in memory can improve the performance
@@ -6,44 +6,256 @@
 //! §4.1), and QCOO explicitly unpersists the previous MTTKRP's queue RDD
 //! (§4.2). The block manager stores computed partitions keyed by
 //! `(rdd_id, partition)`.
+//!
+//! Storage is governed by an optional byte budget
+//! ([`crate::ClusterConfig::memory_budget`]): when resident bytes exceed it,
+//! the least-recently-used block is *evicted*. What eviction means depends on
+//! the block's [`StorageLevel`]:
+//!
+//! * memory-only levels drop the data — a later read misses and the owning
+//!   [`crate::rdd::nodes::CachedNode`] recomputes the partition from lineage,
+//!   exactly like recovery after a lost node;
+//! * [`StorageLevel::MemoryAndDisk`] blocks are *spilled* to a temp-dir
+//!   [`DiskStore`] and transparently reloaded (and promoted back to memory)
+//!   on the next read, with the modeled serialization cost charged through
+//!   [`crate::metrics::Event::StorageSpillWrite`]/`StorageSpillRead` and the
+//!   [`crate::sim::TimeModel`] spill throughput knobs.
 
-use crate::hash::FxHashMap;
+use crate::hash::{FxHashMap, FxHashSet};
+use crate::metrics::MetricsRegistry;
 use parking_lot::Mutex;
 use std::any::Any;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Where/how a cached partition is stored. Both levels keep data in memory
-/// (this is a single-process engine); `MemorySerialized` additionally
-/// records the estimated serialized footprint, mirroring Spark's
-/// `MEMORY_ONLY_SER`. The paper uses raw caching ("we cache the tensors
+/// Where/how a cached partition is stored, mirroring Spark's storage levels.
+/// All data lives in this process (the cluster is simulated); the levels
+/// differ in how they behave under the memory budget and which byte
+/// footprint they report. The paper uses raw caching ("we cache the tensors
 /// using the raw format", §4.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StorageLevel {
-    /// Raw object storage (Spark `MEMORY_ONLY`).
+    /// Raw object storage (Spark `MEMORY_ONLY`). Evicted blocks are
+    /// dropped and recomputed from lineage on the next read.
     MemoryRaw,
-    /// Serialized storage — byte footprint tracked (Spark `MEMORY_ONLY_SER`).
+    /// Serialized storage — byte footprint tracked (Spark
+    /// `MEMORY_ONLY_SER`). Evicted blocks are dropped like `MemoryRaw`.
     MemorySerialized,
+    /// Memory first, spill to local disk under memory pressure (Spark
+    /// `MEMORY_AND_DISK`). Evicted blocks are written to the
+    /// [`DiskStore`] and promoted back to memory on the next read.
+    MemoryAndDisk,
+    /// Straight to local disk (Spark `DISK_ONLY`); never occupies budget,
+    /// every read pays the spill-read cost.
+    DiskOnly,
+}
+
+impl StorageLevel {
+    /// Whether eviction moves the block to disk instead of dropping it.
+    pub fn spills_to_disk(self) -> bool {
+        matches!(self, StorageLevel::MemoryAndDisk | StorageLevel::DiskOnly)
+    }
+}
+
+/// Temp-dir backing store for spilled blocks.
+///
+/// The engine is single-process, so spilled record data stays reachable
+/// in-process (records carry no serialization bound); what the disk store
+/// makes real is the *footprint*: each spilled block gets a sparse file of
+/// its estimated serialized size under a per-store temp directory, created
+/// lazily on first spill and removed on drop. The modeled I/O cost is
+/// charged separately through the metrics events.
+#[derive(Default)]
+pub struct DiskStore {
+    dir: Mutex<Option<PathBuf>>,
+}
+
+impl DiskStore {
+    /// Creates a disk store; no directory is created until the first spill.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn dir(&self) -> Option<PathBuf> {
+        let mut guard = self.dir.lock();
+        if guard.is_none() {
+            static NEXT: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "cstf-spill-{}-{}",
+                std::process::id(),
+                NEXT.fetch_add(1, Ordering::Relaxed)
+            ));
+            if std::fs::create_dir_all(&dir).is_ok() {
+                *guard = Some(dir);
+            }
+        }
+        guard.clone()
+    }
+
+    /// Writes a sparse placeholder file of `bytes` length for `key`.
+    /// Best-effort: I/O failures leave the store purely in-memory.
+    pub fn write(&self, key: &str, bytes: u64) {
+        if let Some(dir) = self.dir() {
+            if let Ok(file) = std::fs::File::create(dir.join(key)) {
+                let _ = file.set_len(bytes);
+            }
+        }
+    }
+
+    /// Removes the placeholder file for `key`, if present.
+    pub fn remove(&self, key: &str) {
+        if let Some(dir) = self.dir.lock().clone() {
+            let _ = std::fs::remove_file(dir.join(key));
+        }
+    }
+
+    /// Bytes currently occupied on disk (sum of placeholder file sizes).
+    pub fn bytes_on_disk(&self) -> u64 {
+        let Some(dir) = self.dir.lock().clone() else {
+            return 0;
+        };
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return 0;
+        };
+        entries
+            .filter_map(|e| e.ok()?.metadata().ok().map(|m| m.len()))
+            .sum()
+    }
+}
+
+impl Drop for DiskStore {
+    fn drop(&mut self) {
+        if let Some(dir) = self.dir.lock().take() {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
 }
 
 struct Block {
     data: Arc<dyn Any + Send + Sync>,
     bytes: u64,
     level: StorageLevel,
+    last_use: u64,
 }
 
-/// Thread-safe cache of computed partitions.
+#[derive(Default)]
+struct Inner {
+    /// Memory-resident blocks (counted against the budget).
+    mem: FxHashMap<(usize, usize), Block>,
+    /// Disk-resident blocks (spilled or `DiskOnly`; not counted).
+    disk: FxHashMap<(usize, usize), Block>,
+    /// Blocks dropped by the budget enforcer; a later miss on one of these
+    /// keys is a lineage *recompute*, not a first computation.
+    evicted: FxHashSet<(usize, usize)>,
+    mem_bytes: u64,
+    peak_mem_bytes: u64,
+    tick: u64,
+}
+
+#[derive(Default)]
+struct Stats {
+    eviction_count: u64,
+    evicted_bytes: u64,
+    spilled_bytes: u64,
+    spill_read_bytes: u64,
+    recompute_count: u64,
+}
+
+/// Thread-safe, budget-governed cache of computed partitions.
 #[derive(Default)]
 pub struct BlockManager {
-    blocks: Mutex<FxHashMap<(usize, usize), Block>>,
+    inner: Mutex<Inner>,
+    stats: Mutex<Stats>,
+    budget: Option<u64>,
+    metrics: Option<Arc<MetricsRegistry>>,
+    disk_store: Option<Arc<DiskStore>>,
+}
+
+fn block_key(rdd_id: usize, partition: usize) -> String {
+    format!("rdd-{rdd_id}-{partition}")
+}
+
+fn owner(rdd_id: usize) -> String {
+    format!("rdd-{rdd_id}")
 }
 
 impl BlockManager {
-    /// Creates an empty block manager.
+    /// Creates an empty, unbounded block manager (no budget, no metrics).
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Stores a computed partition.
+    /// Creates a block manager with an optional byte budget, reporting
+    /// storage events to `metrics` and spilling through `disk_store`.
+    pub fn with_budget(
+        budget: Option<u64>,
+        metrics: Arc<MetricsRegistry>,
+        disk_store: Arc<DiskStore>,
+    ) -> Self {
+        BlockManager {
+            budget,
+            metrics: Some(metrics),
+            disk_store: Some(disk_store),
+            ..Self::default()
+        }
+    }
+
+    fn record_eviction(&self, rdd_id: usize, bytes: u64) {
+        let mut stats = self.stats.lock();
+        stats.eviction_count += 1;
+        stats.evicted_bytes += bytes;
+        drop(stats);
+        if let Some(m) = &self.metrics {
+            m.record_storage_eviction(&owner(rdd_id), bytes);
+        }
+    }
+
+    fn record_spill_write(&self, rdd_id: usize, partition: usize, bytes: u64) {
+        self.stats.lock().spilled_bytes += bytes;
+        if let Some(store) = &self.disk_store {
+            store.write(&block_key(rdd_id, partition), bytes);
+        }
+        if let Some(m) = &self.metrics {
+            m.record_spill_write(&owner(rdd_id), bytes);
+        }
+    }
+
+    fn record_spill_read(&self, rdd_id: usize, bytes: u64) {
+        self.stats.lock().spill_read_bytes += bytes;
+        if let Some(m) = &self.metrics {
+            m.record_spill_read(&owner(rdd_id), bytes);
+        }
+    }
+
+    /// Drops or spills least-recently-used blocks until resident bytes fit
+    /// the budget. `protect` is evicted only as a last resort (when it
+    /// alone exceeds the budget).
+    fn enforce_budget(&self, inner: &mut Inner, protect: (usize, usize)) {
+        let Some(budget) = self.budget else { return };
+        while inner.mem_bytes > budget {
+            let victim = inner
+                .mem
+                .iter()
+                .filter(|(k, _)| **k != protect)
+                .min_by_key(|(k, b)| (b.last_use, **k))
+                .map(|(k, _)| *k)
+                .or_else(|| inner.mem.contains_key(&protect).then_some(protect));
+            let Some(key) = victim else { break };
+            let block = inner.mem.remove(&key).expect("victim block present");
+            inner.mem_bytes -= block.bytes;
+            self.record_eviction(key.0, block.bytes);
+            if block.level.spills_to_disk() {
+                self.record_spill_write(key.0, key.1, block.bytes);
+                inner.disk.insert(key, block);
+            } else {
+                inner.evicted.insert(key);
+            }
+        }
+    }
+
+    /// Stores a computed partition at the given level, evicting older
+    /// blocks if the memory budget would be exceeded.
     pub fn put<T: Send + Sync + 'static>(
         &self,
         rdd_id: usize,
@@ -52,83 +264,261 @@ impl BlockManager {
         bytes: u64,
         level: StorageLevel,
     ) {
-        self.blocks.lock().insert(
-            (rdd_id, partition),
-            Block {
-                data: Arc::new(data),
-                bytes,
-                level,
-            },
-        );
+        let key = (rdd_id, partition);
+        let block = Block {
+            data: Arc::new(data),
+            bytes,
+            level,
+            last_use: 0,
+        };
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.evicted.remove(&key);
+        // Replace semantics: drop any stale copy of this key first.
+        if let Some(old) = inner.mem.remove(&key) {
+            inner.mem_bytes -= old.bytes;
+        }
+        if inner.disk.remove(&key).is_some() {
+            if let Some(store) = &self.disk_store {
+                store.remove(&block_key(rdd_id, partition));
+            }
+        }
+        if level == StorageLevel::DiskOnly {
+            inner.disk.insert(key, block);
+            drop(inner);
+            self.record_spill_write(rdd_id, partition, bytes);
+            return;
+        }
+        let mut block = block;
+        block.last_use = tick;
+        inner.mem_bytes += bytes;
+        inner.mem.insert(key, block);
+        self.enforce_budget(&mut inner, key);
+        // Peak is post-enforcement: the high-water mark of *resident*
+        // bytes, never transient over-budget states.
+        inner.peak_mem_bytes = inner.peak_mem_bytes.max(inner.mem_bytes);
     }
 
-    /// Fetches a cached partition, cloning the records out.
-    pub fn get<T: Clone + Send + Sync + 'static>(
+    /// Fetches a cached partition as the stored `Arc` (no deep clone).
+    ///
+    /// A memory hit refreshes the block's LRU recency. A disk hit charges
+    /// the spill-read cost; `MemoryAndDisk` blocks are promoted back into
+    /// memory (re-running budget enforcement), `DiskOnly` blocks stay on
+    /// disk. Returns `None` when the block was never stored or was evicted
+    /// — the caller recomputes from lineage.
+    pub fn get<T: Send + Sync + 'static>(
         &self,
         rdd_id: usize,
         partition: usize,
-    ) -> Option<Vec<T>> {
-        let blocks = self.blocks.lock();
-        let block = blocks.get(&(rdd_id, partition))?;
-        let data = block
-            .data
-            .downcast_ref::<Vec<T>>()
-            .expect("cached block read with mismatched type");
-        Some(data.clone())
+    ) -> Option<Arc<Vec<T>>> {
+        let key = (rdd_id, partition);
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(block) = inner.mem.get_mut(&key) {
+            block.last_use = tick;
+            let data = block.data.clone();
+            drop(inner);
+            return Some(downcast::<T>(data));
+        }
+        let block = inner.disk.get(&key)?;
+        let bytes = block.bytes;
+        let promote = block.level == StorageLevel::MemoryAndDisk;
+        let data = block.data.clone();
+        if promote {
+            let mut block = inner.disk.remove(&key).expect("disk block present");
+            block.last_use = tick;
+            inner.mem_bytes += bytes;
+            inner.mem.insert(key, block);
+            if let Some(store) = &self.disk_store {
+                store.remove(&block_key(rdd_id, partition));
+            }
+            self.enforce_budget(&mut inner, key);
+            inner.peak_mem_bytes = inner.peak_mem_bytes.max(inner.mem_bytes);
+        }
+        drop(inner);
+        self.record_spill_read(rdd_id, bytes);
+        Some(downcast::<T>(data))
     }
 
-    /// Whether a specific partition is cached.
+    /// Pops the eviction tombstone for a block, recording a lineage
+    /// recompute if one was set. Called by the cached node when a read
+    /// misses, so metrics distinguish first computation from
+    /// recompute-after-eviction.
+    pub fn begin_recompute(&self, rdd_id: usize, partition: usize) -> bool {
+        let was_evicted = self.inner.lock().evicted.remove(&(rdd_id, partition));
+        if was_evicted {
+            self.stats.lock().recompute_count += 1;
+            if let Some(m) = &self.metrics {
+                m.record_storage_recompute(&owner(rdd_id));
+            }
+        }
+        was_evicted
+    }
+
+    /// Whether a specific partition is resident (in memory or on disk).
     pub fn contains(&self, rdd_id: usize, partition: usize) -> bool {
-        self.blocks.lock().contains_key(&(rdd_id, partition))
+        let inner = self.inner.lock();
+        let key = (rdd_id, partition);
+        inner.mem.contains_key(&key) || inner.disk.contains_key(&key)
     }
 
-    /// Whether *all* `num_partitions` partitions of an RDD are cached
-    /// (lets the scheduler prune lineage above a fully-cached RDD).
+    /// Whether *all* `num_partitions` partitions of an RDD are resident —
+    /// in memory or spilled to disk — which lets the scheduler prune
+    /// lineage above a fully-cached RDD (spilled blocks reload without
+    /// lineage).
     pub fn has_all(&self, rdd_id: usize, num_partitions: usize) -> bool {
-        let blocks = self.blocks.lock();
-        (0..num_partitions).all(|p| blocks.contains_key(&(rdd_id, p)))
+        let inner = self.inner.lock();
+        (0..num_partitions)
+            .all(|p| inner.mem.contains_key(&(rdd_id, p)) || inner.disk.contains_key(&(rdd_id, p)))
     }
 
-    /// Drops every cached block for which `lost(partition)` is true — the
-    /// cache loss caused by a node failure. Returns evicted block count.
+    /// Drops every resident block for which `lost(partition)` is true —
+    /// the cache loss caused by a node failure (a node's local disk is
+    /// lost with it). Returns removed block count.
     pub fn remove_where(&self, lost: impl Fn(usize) -> bool) -> usize {
-        let mut blocks = self.blocks.lock();
-        let before = blocks.len();
-        blocks.retain(|&(_, partition), _| !lost(partition));
-        before - blocks.len()
+        let mut inner = self.inner.lock();
+        let before = inner.mem.len() + inner.disk.len();
+        let mut freed = 0;
+        inner.mem.retain(|&(_, partition), b| {
+            let keep = !lost(partition);
+            if !keep {
+                freed += b.bytes;
+            }
+            keep
+        });
+        inner.mem_bytes -= freed;
+        let mut dropped_disk = Vec::new();
+        inner.disk.retain(|&(rdd, partition), _| {
+            let keep = !lost(partition);
+            if !keep {
+                dropped_disk.push((rdd, partition));
+            }
+            keep
+        });
+        inner.evicted.retain(|&(_, partition)| !lost(partition));
+        let after = inner.mem.len() + inner.disk.len();
+        drop(inner);
+        if let Some(store) = &self.disk_store {
+            for (rdd, partition) in dropped_disk {
+                store.remove(&block_key(rdd, partition));
+            }
+        }
+        before - after
     }
 
-    /// Drops every cached partition of an RDD (Spark `unpersist`).
-    /// Returns how many blocks were evicted.
+    /// Drops every resident partition of an RDD (Spark `unpersist`),
+    /// memory and disk alike. Returns how many blocks were removed.
     pub fn remove_rdd(&self, rdd_id: usize) -> usize {
-        let mut blocks = self.blocks.lock();
-        let before = blocks.len();
-        blocks.retain(|&(id, _), _| id != rdd_id);
-        before - blocks.len()
+        let mut inner = self.inner.lock();
+        let before = inner.mem.len() + inner.disk.len();
+        let mut freed = 0;
+        inner.mem.retain(|&(id, _), b| {
+            let keep = id != rdd_id;
+            if !keep {
+                freed += b.bytes;
+            }
+            keep
+        });
+        inner.mem_bytes -= freed;
+        let mut dropped_disk = Vec::new();
+        inner.disk.retain(|&(id, partition), _| {
+            let keep = id != rdd_id;
+            if !keep {
+                dropped_disk.push(partition);
+            }
+            keep
+        });
+        inner.evicted.retain(|&(id, _)| id != rdd_id);
+        let after = inner.mem.len() + inner.disk.len();
+        drop(inner);
+        if let Some(store) = &self.disk_store {
+            for partition in dropped_disk {
+                store.remove(&block_key(rdd_id, partition));
+            }
+        }
+        before - after
     }
 
-    /// Estimated bytes held by serialized-level blocks (raw blocks report
-    /// their tracked size too when one was recorded).
+    /// Estimated bytes resident in memory (counted against the budget).
+    pub fn memory_bytes(&self) -> u64 {
+        self.inner.lock().mem_bytes
+    }
+
+    /// High-water mark of [`Self::memory_bytes`] over the manager's life.
+    pub fn peak_memory_bytes(&self) -> u64 {
+        self.inner.lock().peak_mem_bytes
+    }
+
+    /// Estimated bytes of blocks currently spilled to disk.
+    pub fn disk_bytes(&self) -> u64 {
+        self.inner.lock().disk.values().map(|b| b.bytes).sum()
+    }
+
+    /// Estimated bytes across all resident blocks (memory + disk).
     pub fn total_bytes(&self) -> u64 {
-        self.blocks.lock().values().map(|b| b.bytes).sum()
+        let inner = self.inner.lock();
+        inner.mem_bytes + inner.disk.values().map(|b| b.bytes).sum::<u64>()
     }
 
-    /// Number of cached blocks.
+    /// The configured memory budget, if any.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// How many blocks the budget enforcer has dropped or spilled.
+    pub fn eviction_count(&self) -> u64 {
+        self.stats.lock().eviction_count
+    }
+
+    /// Total bytes evicted from memory by the budget enforcer.
+    pub fn evicted_bytes(&self) -> u64 {
+        self.stats.lock().evicted_bytes
+    }
+
+    /// Total bytes written to the disk store (spill-outs + `DiskOnly` puts).
+    pub fn spilled_bytes(&self) -> u64 {
+        self.stats.lock().spilled_bytes
+    }
+
+    /// Total bytes read back from the disk store.
+    pub fn spill_read_bytes(&self) -> u64 {
+        self.stats.lock().spill_read_bytes
+    }
+
+    /// How many evicted blocks were recomputed from lineage.
+    pub fn recompute_count(&self) -> u64 {
+        self.stats.lock().recompute_count
+    }
+
+    /// Number of resident blocks (memory + disk).
     pub fn len(&self) -> usize {
-        self.blocks.lock().len()
+        let inner = self.inner.lock();
+        inner.mem.len() + inner.disk.len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.blocks.lock().is_empty()
+        self.len() == 0
     }
 
-    /// Storage level of a cached partition, if present.
+    /// Storage level of a resident partition, if present.
     pub fn level_of(&self, rdd_id: usize, partition: usize) -> Option<StorageLevel> {
-        self.blocks
-            .lock()
-            .get(&(rdd_id, partition))
+        let inner = self.inner.lock();
+        let key = (rdd_id, partition);
+        inner
+            .mem
+            .get(&key)
+            .or_else(|| inner.disk.get(&key))
             .map(|b| b.level)
+    }
+}
+
+fn downcast<T: Send + Sync + 'static>(data: Arc<dyn Any + Send + Sync>) -> Arc<Vec<T>> {
+    match data.downcast::<Vec<T>>() {
+        Ok(v) => v,
+        Err(_) => panic!("cached block read with mismatched type"),
     }
 }
 
@@ -140,11 +530,20 @@ mod tests {
     fn put_get_roundtrip() {
         let bm = BlockManager::new();
         bm.put(1, 0, vec![1u32, 2, 3], 12, StorageLevel::MemoryRaw);
-        assert_eq!(bm.get::<u32>(1, 0), Some(vec![1, 2, 3]));
+        assert_eq!(bm.get::<u32>(1, 0).as_deref(), Some(&vec![1, 2, 3]));
         assert_eq!(bm.get::<u32>(1, 1), None);
         assert_eq!(bm.get::<u32>(2, 0), None);
         assert!(bm.contains(1, 0));
         assert_eq!(bm.level_of(1, 0), Some(StorageLevel::MemoryRaw));
+    }
+
+    #[test]
+    fn get_returns_the_stored_arc_without_cloning() {
+        let bm = BlockManager::new();
+        bm.put(3, 0, vec![7u64; 8], 64, StorageLevel::MemoryRaw);
+        let a = bm.get::<u64>(3, 0).unwrap();
+        let b = bm.get::<u64>(3, 0).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "reads must share the stored Arc");
     }
 
     #[test]
@@ -175,6 +574,7 @@ mod tests {
         bm.put(1, 0, vec![0u64; 4], 32, StorageLevel::MemorySerialized);
         bm.put(1, 1, vec![0u64; 2], 16, StorageLevel::MemorySerialized);
         assert_eq!(bm.total_bytes(), 48);
+        assert_eq!(bm.memory_bytes(), 48);
         assert!(!bm.is_empty());
     }
 
@@ -184,5 +584,96 @@ mod tests {
         let bm = BlockManager::new();
         bm.put(1, 0, vec![1u32], 4, StorageLevel::MemoryRaw);
         let _ = bm.get::<u64>(1, 0);
+    }
+
+    fn bounded(budget: u64) -> BlockManager {
+        BlockManager::with_budget(
+            Some(budget),
+            Arc::new(MetricsRegistry::new()),
+            Arc::new(DiskStore::new()),
+        )
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_memory_block() {
+        let bm = bounded(24);
+        bm.put(1, 0, vec![0u64], 8, StorageLevel::MemoryRaw);
+        bm.put(1, 1, vec![0u64], 8, StorageLevel::MemoryRaw);
+        bm.put(1, 2, vec![0u64], 8, StorageLevel::MemoryRaw);
+        // Touch partition 0 so partition 1 becomes the LRU victim.
+        assert!(bm.get::<u64>(1, 0).is_some());
+        bm.put(1, 3, vec![0u64], 8, StorageLevel::MemoryRaw);
+        assert!(bm.contains(1, 0));
+        assert!(!bm.contains(1, 1), "LRU block must be evicted");
+        assert!(bm.contains(1, 2));
+        assert!(bm.contains(1, 3));
+        assert_eq!(bm.eviction_count(), 1);
+        assert_eq!(bm.evicted_bytes(), 8);
+        assert!(bm.memory_bytes() <= 24);
+        // A miss on the evicted key registers as a pending recompute, once.
+        assert!(bm.begin_recompute(1, 1));
+        assert!(!bm.begin_recompute(1, 1));
+        assert_eq!(bm.recompute_count(), 1);
+    }
+
+    #[test]
+    fn memory_and_disk_spills_and_reloads() {
+        let bm = bounded(16);
+        bm.put(5, 0, vec![1u32, 2], 8, StorageLevel::MemoryAndDisk);
+        bm.put(5, 1, vec![3u32, 4], 8, StorageLevel::MemoryAndDisk);
+        bm.put(5, 2, vec![5u32, 6], 8, StorageLevel::MemoryAndDisk);
+        assert_eq!(bm.spilled_bytes(), 8);
+        assert_eq!(bm.disk_bytes(), 8);
+        assert!(bm.has_all(5, 3), "spilled blocks still count as resident");
+        // Reload promotes the spilled block back into memory (evicting
+        // another block to make room) and charges a spill read.
+        assert_eq!(bm.get::<u32>(5, 0).as_deref(), Some(&vec![1, 2]));
+        assert_eq!(bm.spill_read_bytes(), 8);
+        assert!(bm.memory_bytes() <= 16);
+        assert!(bm.has_all(5, 3));
+        // Nothing was dropped, so no recompute is pending anywhere.
+        assert!(!bm.begin_recompute(5, 0));
+        assert!(!bm.begin_recompute(5, 1));
+        assert!(!bm.begin_recompute(5, 2));
+    }
+
+    #[test]
+    fn disk_only_bypasses_the_budget() {
+        let bm = bounded(8);
+        bm.put(9, 0, vec![0u8; 100], 100, StorageLevel::DiskOnly);
+        assert_eq!(bm.memory_bytes(), 0);
+        assert_eq!(bm.disk_bytes(), 100);
+        assert_eq!(bm.spilled_bytes(), 100);
+        assert!(bm.get::<u8>(9, 0).is_some());
+        assert_eq!(bm.spill_read_bytes(), 100);
+        // DiskOnly is never promoted: a second read pays again.
+        assert!(bm.get::<u8>(9, 0).is_some());
+        assert_eq!(bm.spill_read_bytes(), 200);
+        assert_eq!(bm.memory_bytes(), 0);
+    }
+
+    #[test]
+    fn oversized_block_is_evicted_immediately() {
+        let bm = bounded(10);
+        bm.put(2, 0, vec![0u8; 64], 64, StorageLevel::MemoryRaw);
+        assert_eq!(bm.memory_bytes(), 0, "budget is a hard ceiling");
+        assert!(!bm.contains(2, 0));
+        assert!(bm.begin_recompute(2, 0));
+    }
+
+    #[test]
+    fn unpersist_purges_disk_blocks_and_tombstones() {
+        let bm = bounded(8);
+        bm.put(4, 0, vec![0u64], 8, StorageLevel::MemoryAndDisk);
+        bm.put(4, 1, vec![0u64], 8, StorageLevel::MemoryAndDisk);
+        bm.put(4, 2, vec![0u64], 8, StorageLevel::MemoryRaw);
+        bm.put(4, 3, vec![0u64], 8, StorageLevel::MemoryRaw);
+        // Budget 8 holds one block: 0 and 1 spilled to disk, 2 was dropped
+        // (tombstoned), 3 is resident — 3 blocks to remove.
+        assert_eq!(bm.remove_rdd(4), 3);
+        assert_eq!(bm.disk_bytes(), 0);
+        assert_eq!(bm.memory_bytes(), 0);
+        // Tombstones are cleared too: no recompute pending for block 2.
+        assert!(!bm.begin_recompute(4, 2));
     }
 }

@@ -33,6 +33,13 @@ pub struct ClusterConfig {
     pub speculation: Option<SpeculationPolicy>,
     /// Deterministic fault injection; `None` runs fault-free.
     pub faults: Option<FaultConfig>,
+    /// Byte budget governing cached blocks and shuffle map outputs held in
+    /// memory (Spark's storage/execution memory region). When resident
+    /// bytes exceed it, the block manager evicts LRU blocks — dropping
+    /// memory-only blocks (recomputed from lineage on the next read) and
+    /// spilling `MemoryAndDisk` blocks — and the shuffle service spills
+    /// its oldest map outputs. `None` (the default) is unbounded.
+    pub memory_budget: Option<u64>,
 }
 
 impl ClusterConfig {
@@ -48,6 +55,7 @@ impl ClusterConfig {
             max_task_attempts: 4,
             speculation: None,
             faults: None,
+            memory_budget: None,
         }
     }
 
@@ -98,6 +106,15 @@ impl ClusterConfig {
             multiplier,
             min_task_secs,
         });
+        self
+    }
+
+    /// Bounds the bytes of cached blocks and shuffle map outputs held in
+    /// memory; excess is LRU-evicted (dropped or spilled to disk,
+    /// depending on each block's [`crate::StorageLevel`]).
+    pub fn memory_budget(mut self, bytes: u64) -> Self {
+        assert!(bytes > 0, "memory budget must be positive");
+        self.memory_budget = Some(bytes);
         self
     }
 

@@ -1,7 +1,7 @@
 //! The cluster driver: owns executor, shuffle service, cache and metrics,
 //! and schedules jobs stage-by-stage like Spark's DAGScheduler.
 
-use crate::cache::BlockManager;
+use crate::cache::{BlockManager, DiskStore};
 use crate::config::ClusterConfig;
 use crate::executor::{Executor, RunPolicy};
 use crate::fault::{FaultInjector, InjectedFault};
@@ -75,7 +75,11 @@ struct ClusterInner {
     executor: Executor,
     shuffle: Arc<ShuffleService>,
     blocks: BlockManager,
-    metrics: MetricsRegistry,
+    metrics: Arc<MetricsRegistry>,
+    /// Temp-dir backing store for spilled blocks and map outputs; shared
+    /// by the block manager and shuffle service, removed on drop.
+    #[allow(dead_code)]
+    disk_store: Arc<DiskStore>,
     next_shuffle_id: AtomicUsize,
 }
 
@@ -100,13 +104,21 @@ impl Cluster {
     /// Creates a cluster with the given configuration.
     pub fn new(config: ClusterConfig) -> Self {
         let executor = Executor::new(config.executor_threads);
+        let metrics = Arc::new(MetricsRegistry::new());
+        let disk_store = Arc::new(DiskStore::new());
+        let budget = config.memory_budget;
         Cluster {
             inner: Arc::new(ClusterInner {
                 config,
                 executor,
-                shuffle: Arc::new(ShuffleService::new()),
-                blocks: BlockManager::new(),
-                metrics: MetricsRegistry::new(),
+                shuffle: Arc::new(ShuffleService::with_budget(
+                    budget,
+                    metrics.clone(),
+                    disk_store.clone(),
+                )),
+                blocks: BlockManager::with_budget(budget, metrics.clone(), disk_store.clone()),
+                metrics,
+                disk_store,
                 next_shuffle_id: AtomicUsize::new(0),
             }),
         }

@@ -73,6 +73,35 @@ pub use partitioner::{
 pub use rdd::Rdd;
 pub use size::EstimateSize;
 
+/// One-stop import for the engine's everyday surface:
+///
+/// ```
+/// use cstf_dataflow::prelude::*;
+///
+/// let c = Cluster::new(ClusterConfig::local(2));
+/// let doubled = c
+///     .parallelize(vec![1u32, 2, 3], 2)
+///     .map(|x| x * 2)
+///     .persist(StorageLevel::MemoryRaw);
+/// assert_eq!(doubled.collect(), vec![2, 4, 6]);
+/// ```
+pub mod prelude {
+    pub use crate::broadcast::Broadcast;
+    pub use crate::cache::StorageLevel;
+    pub use crate::config::ClusterConfig;
+    pub use crate::context::{Cluster, TaskContext};
+    pub use crate::executor::{RunPolicy, SpeculationPolicy};
+    pub use crate::fault::FaultConfig;
+    pub use crate::metrics::{JobMetrics, StageKind};
+    pub use crate::partitioner::{
+        HashPartitioner, KeyPartitioner, PartitionerRef, PartitionerSig, RangePartitioner,
+    };
+    pub use crate::rdd::Rdd;
+    pub use crate::sim::TimeModel;
+    pub use crate::size::EstimateSize;
+    pub use crate::{Data, Key};
+}
+
 /// Marker for element types an [`Rdd`] can hold: cheaply cloneable and
 /// shareable across executor threads. Blanket-implemented.
 pub trait Data: Send + Sync + Clone + 'static {}

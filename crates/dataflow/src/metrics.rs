@@ -244,6 +244,46 @@ pub enum Event {
         /// Operator whose shuffle was skipped (e.g. `"cogroup-left"`).
         name: String,
     },
+    /// The memory budget enforcer dropped or spilled a block from memory.
+    StorageEvicted {
+        /// Scope label active when recorded.
+        scope: String,
+        /// Storage owner (`"rdd-<id>"` or `"shuffle-<id>"`).
+        owner: String,
+        /// Estimated bytes removed from memory.
+        bytes: u64,
+    },
+    /// Bytes written to the local-disk spill store (a `MemoryAndDisk`
+    /// eviction, a `DiskOnly` put, or an oversized shuffle map output).
+    /// Priced by `TimeModel::spill_write_bw`.
+    StorageSpillWrite {
+        /// Scope label active when recorded.
+        scope: String,
+        /// Storage owner (`"rdd-<id>"` or `"shuffle-<id>"`).
+        owner: String,
+        /// Estimated bytes written.
+        bytes: u64,
+    },
+    /// Bytes read back from the local-disk spill store (reload +
+    /// deserialization). Priced by `TimeModel::spill_read_bw`.
+    StorageSpillRead {
+        /// Scope label active when recorded.
+        scope: String,
+        /// Storage owner (`"rdd-<id>"` or `"shuffle-<id>"`).
+        owner: String,
+        /// Estimated bytes read.
+        bytes: u64,
+    },
+    /// An evicted (dropped, not spilled) block was recomputed from
+    /// lineage on a later read — the cache-miss analogue of lost-partition
+    /// recovery. The recompute CPU itself lands in the reading stage's
+    /// task metrics.
+    StorageRecompute {
+        /// Scope label active when recorded.
+        scope: String,
+        /// Storage owner (`"rdd-<id>"`).
+        owner: String,
+    },
 }
 
 /// An immutable snapshot of everything recorded since the last reset.
@@ -363,6 +403,98 @@ impl JobMetrics {
         self.stages().map(|s| s.wasted_task_secs).sum()
     }
 
+    /// Total bytes the budget enforcer removed from memory.
+    pub fn evicted_bytes(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e {
+                Event::StorageEvicted { bytes, .. } => *bytes,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Number of blocks the budget enforcer removed from memory.
+    pub fn eviction_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, Event::StorageEvicted { .. }))
+            .count()
+    }
+
+    /// Total bytes written to the local-disk spill store.
+    pub fn spilled_bytes(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e {
+                Event::StorageSpillWrite { bytes, .. } => *bytes,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total bytes read back from the local-disk spill store.
+    pub fn spill_read_bytes(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e {
+                Event::StorageSpillRead { bytes, .. } => *bytes,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Number of evicted blocks that were recomputed from lineage.
+    pub fn recompute_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, Event::StorageRecompute { .. }))
+            .count()
+    }
+
+    /// Per-owner storage activity, in first-seen order: `(owner,
+    /// evicted_bytes, spilled_bytes, spill_read_bytes, recomputes)` for
+    /// each RDD/shuffle that saw any storage event — the per-RDD storage
+    /// table in [`Self::render_report`].
+    pub fn storage_by_owner(&self) -> Vec<(String, u64, u64, u64, u64)> {
+        let mut order: Vec<String> = Vec::new();
+        let mut agg: BTreeMap<String, (u64, u64, u64, u64)> = BTreeMap::new();
+        let mut touch = |agg: &mut BTreeMap<String, (u64, u64, u64, u64)>, owner: &String| {
+            if !agg.contains_key(owner) {
+                order.push(owner.clone());
+                agg.insert(owner.clone(), (0, 0, 0, 0));
+            }
+        };
+        for e in &self.events {
+            match e {
+                Event::StorageEvicted { owner, bytes, .. } => {
+                    touch(&mut agg, owner);
+                    agg.get_mut(owner).expect("touched").0 += bytes;
+                }
+                Event::StorageSpillWrite { owner, bytes, .. } => {
+                    touch(&mut agg, owner);
+                    agg.get_mut(owner).expect("touched").1 += bytes;
+                }
+                Event::StorageSpillRead { owner, bytes, .. } => {
+                    touch(&mut agg, owner);
+                    agg.get_mut(owner).expect("touched").2 += bytes;
+                }
+                Event::StorageRecompute { owner, .. } => {
+                    touch(&mut agg, owner);
+                    agg.get_mut(owner).expect("touched").3 += 1;
+                }
+                _ => {}
+            }
+        }
+        order
+            .into_iter()
+            .map(|k| {
+                let (e, w, r, c) = agg[&k];
+                (k, e, w, r, c)
+            })
+            .collect()
+    }
+
     /// Number of declared job boundaries.
     pub fn job_count(&self) -> usize {
         self.events
@@ -460,6 +592,13 @@ impl JobMetrics {
                         truncate(name, 32)
                     );
                 }
+                // Storage events are high-volume (one per block); they are
+                // aggregated into the STORAGE summary below instead of
+                // printed inline.
+                Event::StorageEvicted { .. }
+                | Event::StorageSpillWrite { .. }
+                | Event::StorageSpillRead { .. }
+                | Event::StorageRecompute { .. } => {}
             }
         }
         let _ = writeln!(
@@ -482,6 +621,21 @@ impl JobMetrics {
             self.total_speculative_won(),
             self.total_wasted_task_secs(),
         );
+        let _ = writeln!(
+            out,
+            "STORAGE {} evictions ({} B) | {} B spilled | {} B spill-read | {} recomputes",
+            self.eviction_count(),
+            self.evicted_bytes(),
+            self.spilled_bytes(),
+            self.spill_read_bytes(),
+            self.recompute_count(),
+        );
+        for (owner, evicted, spilled, reread, recomputes) in self.storage_by_owner() {
+            let _ = writeln!(
+                out,
+                "  {owner:<12} evicted {evicted} B | spilled {spilled} B | spill-read {reread} B | recomputed {recomputes}",
+            );
+        }
         out
     }
 
@@ -590,6 +744,45 @@ impl MetricsRegistry {
         self.events.lock().push(Event::SkippedShuffle {
             scope,
             name: name.into(),
+        });
+    }
+
+    /// Records a block evicted from memory by the budget enforcer.
+    pub fn record_storage_eviction(&self, owner: &str, bytes: u64) {
+        let scope = self.scope();
+        self.events.lock().push(Event::StorageEvicted {
+            scope,
+            owner: owner.to_string(),
+            bytes,
+        });
+    }
+
+    /// Records bytes written to the local-disk spill store.
+    pub fn record_spill_write(&self, owner: &str, bytes: u64) {
+        let scope = self.scope();
+        self.events.lock().push(Event::StorageSpillWrite {
+            scope,
+            owner: owner.to_string(),
+            bytes,
+        });
+    }
+
+    /// Records bytes read back from the local-disk spill store.
+    pub fn record_spill_read(&self, owner: &str, bytes: u64) {
+        let scope = self.scope();
+        self.events.lock().push(Event::StorageSpillRead {
+            scope,
+            owner: owner.to_string(),
+            bytes,
+        });
+    }
+
+    /// Records a lineage recompute of an evicted block.
+    pub fn record_storage_recompute(&self, owner: &str) {
+        let scope = self.scope();
+        self.events.lock().push(Event::StorageRecompute {
+            scope,
+            owner: owner.to_string(),
         });
     }
 

@@ -305,40 +305,6 @@ impl<T: Data> Rdd<T> {
 
     // ---- caching ------------------------------------------------------
 
-    /// Marks the dataset for in-memory caching in raw object form (the
-    /// level the paper selects, §4.1). The first action computes and
-    /// stores every partition; later actions read from the block manager,
-    /// and lineage above the cache is pruned.
-    ///
-    /// ```
-    /// use cstf_dataflow::{Cluster, ClusterConfig};
-    ///
-    /// let c = Cluster::new(ClusterConfig::local(2));
-    /// let rdd = c.parallelize((0u32..8).collect::<Vec<_>>(), 4).cache();
-    /// assert_eq!(rdd.count(), 8);        // computes and fills the cache
-    /// assert!(rdd.is_fully_cached());
-    /// assert_eq!(rdd.unpersist(), 4);    // evicts 4 partitions
-    /// ```
-    pub fn cache(&self) -> Rdd<T> {
-        Rdd::from_node(
-            self.cluster.clone(),
-            Arc::new(nodes::CachedNode::new(
-                self.node.clone(),
-                self.cluster.clone(),
-                StorageLevel::MemoryRaw,
-            )),
-        )
-        .with_partitioner(self.partitioner.clone())
-    }
-
-    /// Evaluates the dataset eagerly and caches it, returning the cached
-    /// handle. Equivalent to `.cache()` followed by a counting action.
-    pub fn persist_now(&self) -> Rdd<T> {
-        let cached = self.cache();
-        let _ = cached.count();
-        cached
-    }
-
     /// Materializes the dataset and truncates its lineage (Spark
     /// `checkpoint`): the returned RDD holds the computed partitions
     /// directly and has no dependencies, so no amount of shuffle cleanup
@@ -358,14 +324,15 @@ impl<T: Data> Rdd<T> {
         .with_partitioner(self.partitioner.clone())
     }
 
-    /// Drops this RDD's cached partitions (Spark `unpersist`). Only
-    /// meaningful on a handle returned by [`Rdd::cache`]. Returns the
-    /// number of evicted blocks.
+    /// Drops this RDD's resident partitions — memory and spilled disk
+    /// blocks alike (Spark `unpersist`). Only meaningful on a handle
+    /// returned by [`Rdd::persist`]. Returns the number of removed blocks.
     pub fn unpersist(&self) -> usize {
         self.cluster.block_manager().remove_rdd(self.node.id())
     }
 
-    /// Whether all partitions are currently cached.
+    /// Whether all partitions are currently resident (in memory or
+    /// spilled to disk).
     pub fn is_fully_cached(&self) -> bool {
         self.cluster
             .block_manager()
@@ -450,18 +417,70 @@ impl<T: Data + EstimateSize + Eq + std::hash::Hash> Rdd<T> {
 }
 
 impl<T: Data + EstimateSize> Rdd<T> {
-    /// Caches in "serialized" form: like [`Rdd::cache`] but the block
-    /// manager tracks the estimated serialized footprint (Spark
-    /// `MEMORY_ONLY_SER`).
-    pub fn cache_serialized(&self) -> Rdd<T> {
+    /// Marks the dataset for caching at `level` — the engine's single
+    /// persistence entry point (Spark `persist(StorageLevel)`). The first
+    /// action computes and stores every partition (sized by
+    /// [`EstimateSize`], so the memory budget can govern it); later
+    /// actions read from the block manager, and lineage above a fully
+    /// resident RDD is pruned.
+    ///
+    /// Under a [`crate::ClusterConfig::memory_budget`], a stored block may
+    /// later be evicted: memory-only blocks are recomputed from lineage on
+    /// the next read, [`StorageLevel::MemoryAndDisk`] blocks reload from
+    /// the disk store.
+    ///
+    /// ```
+    /// use cstf_dataflow::{Cluster, ClusterConfig, StorageLevel};
+    ///
+    /// let c = Cluster::new(ClusterConfig::local(2));
+    /// let rdd = c
+    ///     .parallelize((0u32..8).collect::<Vec<_>>(), 4)
+    ///     .persist(StorageLevel::MemoryRaw);
+    /// assert_eq!(rdd.count(), 8);        // computes and fills the cache
+    /// assert!(rdd.is_fully_cached());
+    /// assert_eq!(rdd.unpersist(), 4);    // drops 4 partitions
+    /// ```
+    pub fn persist(&self, level: StorageLevel) -> Rdd<T> {
         Rdd::from_node(
             self.cluster.clone(),
-            Arc::new(nodes::SerializedCachedNode::new(
+            Arc::new(nodes::CachedNode::new(
                 self.node.clone(),
                 self.cluster.clone(),
+                level,
             )),
         )
         .with_partitioner(self.partitioner.clone())
+    }
+
+    /// Marks the dataset for in-memory caching in raw object form (the
+    /// level the paper selects, §4.1).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `persist(StorageLevel::MemoryRaw)` instead"
+    )]
+    pub fn cache(&self) -> Rdd<T> {
+        self.persist(StorageLevel::MemoryRaw)
+    }
+
+    /// Caches in "serialized" form (Spark `MEMORY_ONLY_SER`).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `persist(StorageLevel::MemorySerialized)` instead"
+    )]
+    pub fn cache_serialized(&self) -> Rdd<T> {
+        self.persist(StorageLevel::MemorySerialized)
+    }
+
+    /// Evaluates the dataset eagerly and caches it, returning the cached
+    /// handle.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `persist(StorageLevel::MemoryRaw)` and trigger it with an action (e.g. `count()`)"
+    )]
+    pub fn persist_now(&self) -> Rdd<T> {
+        let cached = self.persist(StorageLevel::MemoryRaw);
+        let _ = cached.count();
+        cached
     }
 }
 

@@ -397,17 +397,21 @@ impl<T: Data> RddNode<T> for CoalescedNode<T> {
     }
 }
 
-/// Caching wrapper: first computation of a partition stores it in the
-/// block manager; later computations read the cached copy. Lineage above a
-/// fully-cached node is pruned from scheduling.
-pub struct CachedNode<T: Data> {
+/// Caching wrapper behind [`crate::Rdd::persist`]: first computation of a
+/// partition stores it in the block manager at the chosen
+/// [`StorageLevel`]; later computations read the resident copy (reloading
+/// spilled blocks transparently). Lineage above a fully-resident node is
+/// pruned from scheduling — but the parent is always retained, so a block
+/// the budget enforcer dropped mid-run is recomputed from lineage exactly
+/// like a lost partition, under the reading task's retry umbrella.
+pub struct CachedNode<T: Data + EstimateSize> {
     id: usize,
     parent: Arc<dyn RddNode<T>>,
     cluster: Cluster,
     level: StorageLevel,
 }
 
-impl<T: Data> CachedNode<T> {
+impl<T: Data + EstimateSize> CachedNode<T> {
     pub(crate) fn new(parent: Arc<dyn RddNode<T>>, cluster: Cluster, level: StorageLevel) -> Self {
         CachedNode {
             id: next_node_id(),
@@ -416,25 +420,27 @@ impl<T: Data> CachedNode<T> {
             level,
         }
     }
-
-    fn estimate_bytes(&self, _data: &[T]) -> u64 {
-        0 // raw level: footprint untracked, matching Spark's raw objects
-    }
 }
 
-impl<T: Data> NodeInfo for CachedNode<T> {
+impl<T: Data + EstimateSize> NodeInfo for CachedNode<T> {
     fn id(&self) -> usize {
         self.id
     }
     fn name(&self) -> &str {
-        "cached"
+        match self.level {
+            StorageLevel::MemoryRaw => "cached",
+            StorageLevel::MemorySerialized => "cached_ser",
+            StorageLevel::MemoryAndDisk => "cached_mem_disk",
+            StorageLevel::DiskOnly => "cached_disk",
+        }
     }
     fn num_partitions(&self) -> usize {
         self.parent.num_partitions()
     }
     fn deps(&self) -> Vec<Dependency> {
-        // Once every partition is resident, upstream lineage is pruned:
-        // re-running a job over a cached RDD re-materializes nothing.
+        // Once every partition is resident (in memory or on disk),
+        // upstream lineage is pruned: re-running a job over a cached RDD
+        // re-materializes nothing.
         if self
             .cluster
             .block_manager()
@@ -447,69 +453,20 @@ impl<T: Data> NodeInfo for CachedNode<T> {
     }
 }
 
-impl<T: Data> RddNode<T> for CachedNode<T> {
+impl<T: Data + EstimateSize> RddNode<T> for CachedNode<T> {
     fn compute(&self, partition: usize, ctx: &TaskContext<'_>) -> Vec<T> {
-        if let Some(hit) = self.cluster.block_manager().get::<T>(self.id, partition) {
+        let bm = self.cluster.block_manager();
+        if let Some(hit) = bm.get::<T>(self.id, partition) {
             ctx.stage.add_records_computed(hit.len() as u64);
-            return hit;
+            return hit.as_ref().clone();
         }
+        // Miss. If the budget enforcer dropped this block earlier, this is
+        // a lineage recompute (counted in the storage metrics); either
+        // way the retained parent recomputes the partition.
+        bm.begin_recompute(self.id, partition);
         let data = self.parent.compute(partition, ctx);
-        let bytes = match self.level {
-            StorageLevel::MemoryRaw => self.estimate_bytes(&data),
-            StorageLevel::MemorySerialized => 0, // overridden in EstimateSize impl path
-        };
-        self.cluster
-            .block_manager()
-            .put(self.id, partition, data.clone(), bytes, self.level);
-        data
-    }
-}
-
-/// Caching wrapper that also tracks the estimated serialized footprint.
-/// Used by [`crate::Rdd::cache_serialized`].
-pub struct SerializedCachedNode<T: Data + EstimateSize> {
-    inner: CachedNode<T>,
-}
-
-impl<T: Data + EstimateSize> SerializedCachedNode<T> {
-    #[allow(dead_code)]
-    pub(crate) fn new(parent: Arc<dyn RddNode<T>>, cluster: Cluster) -> Self {
-        SerializedCachedNode {
-            inner: CachedNode::new(parent, cluster, StorageLevel::MemorySerialized),
-        }
-    }
-}
-
-impl<T: Data + EstimateSize> NodeInfo for SerializedCachedNode<T> {
-    fn id(&self) -> usize {
-        self.inner.id
-    }
-    fn name(&self) -> &str {
-        "cached_ser"
-    }
-    fn num_partitions(&self) -> usize {
-        self.inner.num_partitions()
-    }
-    fn deps(&self) -> Vec<Dependency> {
-        self.inner.deps()
-    }
-}
-
-impl<T: Data + EstimateSize> RddNode<T> for SerializedCachedNode<T> {
-    fn compute(&self, partition: usize, ctx: &TaskContext<'_>) -> Vec<T> {
-        let bm = self.inner.cluster.block_manager();
-        if let Some(hit) = bm.get::<T>(self.inner.id, partition) {
-            return hit;
-        }
-        let data = self.inner.parent.compute(partition, ctx);
         let bytes: u64 = data.iter().map(|r| r.estimate_size() as u64).sum();
-        bm.put(
-            self.inner.id,
-            partition,
-            data.clone(),
-            bytes,
-            StorageLevel::MemorySerialized,
-        );
+        bm.put(self.id, partition, data.clone(), bytes, self.level);
         data
     }
 }

@@ -1,12 +1,21 @@
-//! In-memory shuffle service.
+//! In-memory shuffle service with budget-governed spill.
 //!
 //! Maps Spark's shuffle files: the map side of a shuffle writes, for each
 //! map partition, one bucket per reduce partition; reducers later fetch
 //! "their" bucket from every map output. Byte sizes are estimated at write
 //! time so the read side can attribute remote/local traffic without
 //! re-walking records.
+//!
+//! Map outputs share the cluster's memory budget
+//! ([`crate::ClusterConfig::memory_budget`]) with the block manager: when
+//! stored outputs exceed it, the oldest outputs are *spilled* — their
+//! footprint moves to the temp-dir [`DiskStore`] and every later fetch of
+//! one of their buckets pays the modeled spill-read cost
+//! ([`crate::metrics::Event::StorageSpillRead`]).
 
+use crate::cache::DiskStore;
 use crate::hash::FxHashMap;
+use crate::metrics::MetricsRegistry;
 use parking_lot::Mutex;
 use std::any::Any;
 use std::sync::Arc;
@@ -18,11 +27,26 @@ struct MapOutput {
     buckets: Box<dyn Any + Send + Sync>,
     bucket_bytes: Vec<u64>,
     bucket_records: Vec<u64>,
+    total_bytes: u64,
+    /// Insertion order, for oldest-first spill.
+    tick: u64,
+    /// Whether this output has been spilled to the disk store.
+    spilled: bool,
 }
 
 struct ShuffleData {
     num_reduce: usize,
     map_outputs: Vec<Option<MapOutput>>,
+}
+
+#[derive(Default)]
+struct SvcInner {
+    shuffles: FxHashMap<usize, ShuffleData>,
+    /// Bytes of non-spilled map outputs (counted against the budget).
+    mem_bytes: u64,
+    tick: u64,
+    spilled_bytes: u64,
+    spill_read_bytes: u64,
 }
 
 /// One bucket fetched by a reducer. The records are shared with the
@@ -41,25 +65,113 @@ pub struct FetchedBucket<T> {
 /// Cluster-wide registry of in-flight shuffle data.
 #[derive(Default)]
 pub struct ShuffleService {
-    shuffles: Mutex<FxHashMap<usize, ShuffleData>>,
+    inner: Mutex<SvcInner>,
+    budget: Option<u64>,
+    metrics: Option<Arc<MetricsRegistry>>,
+    disk_store: Option<Arc<DiskStore>>,
+}
+
+fn spill_key(shuffle_id: usize, map_partition: usize) -> String {
+    format!("shuffle-{shuffle_id}-{map_partition}")
+}
+
+fn shuffle_owner(shuffle_id: usize) -> String {
+    format!("shuffle-{shuffle_id}")
 }
 
 impl ShuffleService {
-    /// Creates an empty service.
+    /// Creates an empty, unbounded service (no budget, no metrics).
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Registers a shuffle before its map stage runs. Idempotent.
-    pub fn register(&self, shuffle_id: usize, num_maps: usize, num_reduce: usize) {
-        let mut s = self.shuffles.lock();
-        s.entry(shuffle_id).or_insert_with(|| ShuffleData {
-            num_reduce,
-            map_outputs: (0..num_maps).map(|_| None).collect(),
-        });
+    /// Creates a service with an optional byte budget for in-memory map
+    /// outputs, reporting spills to `metrics` through `disk_store`.
+    pub fn with_budget(
+        budget: Option<u64>,
+        metrics: Arc<MetricsRegistry>,
+        disk_store: Arc<DiskStore>,
+    ) -> Self {
+        ShuffleService {
+            budget,
+            metrics: Some(metrics),
+            disk_store: Some(disk_store),
+            ..Self::default()
+        }
     }
 
-    /// Stores the bucketed output of one map task.
+    /// Registers a shuffle before its map stage runs. Idempotent.
+    pub fn register(&self, shuffle_id: usize, num_maps: usize, num_reduce: usize) {
+        let mut inner = self.inner.lock();
+        inner
+            .shuffles
+            .entry(shuffle_id)
+            .or_insert_with(|| ShuffleData {
+                num_reduce,
+                map_outputs: (0..num_maps).map(|_| None).collect(),
+            });
+    }
+
+    /// Releases a dropped map output's accounting: memory counter for
+    /// resident outputs, disk-store file for spilled ones.
+    fn release_output(
+        &self,
+        inner: &mut SvcInner,
+        shuffle_id: usize,
+        map_partition: usize,
+        output: &MapOutput,
+    ) {
+        if output.spilled {
+            if let Some(store) = &self.disk_store {
+                store.remove(&spill_key(shuffle_id, map_partition));
+            }
+        } else {
+            inner.mem_bytes -= output.total_bytes;
+        }
+    }
+
+    /// Spills oldest-first until resident map-output bytes fit the budget.
+    fn enforce_budget(&self, inner: &mut SvcInner) {
+        let Some(budget) = self.budget else { return };
+        while inner.mem_bytes > budget {
+            let victim = inner
+                .shuffles
+                .iter()
+                .flat_map(|(&id, data)| {
+                    data.map_outputs
+                        .iter()
+                        .enumerate()
+                        .filter_map(move |(map, out)| {
+                            out.as_ref()
+                                .filter(|o| !o.spilled)
+                                .map(|o| (o.tick, id, map, o.total_bytes))
+                        })
+                })
+                .min();
+            let Some((_, shuffle_id, map_partition, bytes)) = victim else {
+                break;
+            };
+            let out = inner
+                .shuffles
+                .get_mut(&shuffle_id)
+                .expect("victim shuffle present")
+                .map_outputs[map_partition]
+                .as_mut()
+                .expect("victim output present");
+            out.spilled = true;
+            inner.mem_bytes -= bytes;
+            inner.spilled_bytes += bytes;
+            if let Some(store) = &self.disk_store {
+                store.write(&spill_key(shuffle_id, map_partition), bytes);
+            }
+            if let Some(m) = &self.metrics {
+                m.record_spill_write(&shuffle_owner(shuffle_id), bytes);
+            }
+        }
+    }
+
+    /// Stores the bucketed output of one map task, spilling oldest outputs
+    /// if the memory budget would be exceeded.
     ///
     /// # Panics
     ///
@@ -72,8 +184,11 @@ impl ShuffleService {
         buckets: Vec<Vec<T>>,
         bucket_bytes: Vec<u64>,
     ) {
-        let mut s = self.shuffles.lock();
-        let data = s
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let data = inner
+            .shuffles
             .get_mut(&shuffle_id)
             .unwrap_or_else(|| panic!("shuffle {shuffle_id} not registered"));
         assert_eq!(buckets.len(), data.num_reduce, "bucket count mismatch");
@@ -85,6 +200,7 @@ impl ShuffleService {
             return;
         }
         let bucket_records = buckets.iter().map(|b| b.len() as u64).collect();
+        let total_bytes = bucket_bytes.iter().sum();
         // Arc-wrap each bucket so reads hand out shared references
         // instead of deep copies.
         let buckets: Vec<Arc<Vec<T>>> = buckets.into_iter().map(Arc::new).collect();
@@ -92,28 +208,37 @@ impl ShuffleService {
             buckets: Box::new(buckets),
             bucket_bytes,
             bucket_records,
+            total_bytes,
+            tick,
+            spilled: false,
         });
+        inner.mem_bytes += total_bytes;
+        self.enforce_budget(&mut inner);
     }
 
     /// Whether every map output for `shuffle_id` has been stored.
     pub fn is_complete(&self, shuffle_id: usize) -> bool {
-        let s = self.shuffles.lock();
-        s.get(&shuffle_id)
+        let inner = self.inner.lock();
+        inner
+            .shuffles
+            .get(&shuffle_id)
             .map(|d| d.map_outputs.iter().all(Option::is_some))
             .unwrap_or(false)
     }
 
     /// Whether the shuffle id is known at all.
     pub fn contains(&self, shuffle_id: usize) -> bool {
-        self.shuffles.lock().contains_key(&shuffle_id)
+        self.inner.lock().shuffles.contains_key(&shuffle_id)
     }
 
     /// Map partitions of `shuffle_id` whose output is absent (never
     /// written, or lost to a simulated node failure). Unregistered
     /// shuffles report an empty list.
     pub fn missing_map_outputs(&self, shuffle_id: usize) -> Vec<usize> {
-        let s = self.shuffles.lock();
-        s.get(&shuffle_id)
+        let inner = self.inner.lock();
+        inner
+            .shuffles
+            .get(&shuffle_id)
             .map(|d| {
                 d.map_outputs
                     .iter()
@@ -127,15 +252,27 @@ impl ShuffleService {
 
     /// Drops every map output written by a map partition for which
     /// `lost(map_partition)` is true — the shuffle-file loss caused by a
-    /// node failure. Affected shuffles become incomplete and re-run their
-    /// missing map tasks on next use.
+    /// node failure (spill files on the node's local disk are lost too).
+    /// Affected shuffles become incomplete and re-run their missing map
+    /// tasks on next use.
     pub fn remove_map_outputs_where(&self, lost: impl Fn(usize) -> bool) -> usize {
         let mut removed = 0;
-        let mut s = self.shuffles.lock();
-        for data in s.values_mut() {
-            for (map_partition, slot) in data.map_outputs.iter_mut().enumerate() {
-                if slot.is_some() && lost(map_partition) {
-                    *slot = None;
+        let mut inner = self.inner.lock();
+        let ids: Vec<usize> = inner.shuffles.keys().copied().collect();
+        for shuffle_id in ids {
+            let num_maps = inner.shuffles[&shuffle_id].map_outputs.len();
+            for map_partition in 0..num_maps {
+                if !lost(map_partition) {
+                    continue;
+                }
+                let slot = inner
+                    .shuffles
+                    .get_mut(&shuffle_id)
+                    .expect("shuffle present")
+                    .map_outputs[map_partition]
+                    .take();
+                if let Some(output) = slot {
+                    self.release_output(&mut inner, shuffle_id, map_partition, &output);
                     removed += 1;
                 }
             }
@@ -145,22 +282,26 @@ impl ShuffleService {
 
     /// Fetches reduce partition `reduce_partition`'s bucket from every map
     /// output, in map-partition order. Only bucket `Arc`s are cloned under
-    /// the lock; record data is never copied here.
+    /// the lock; record data is never copied here. Buckets of spilled
+    /// outputs charge the modeled spill-read cost.
     ///
     /// # Panics
     ///
     /// Panics if the shuffle is missing, incomplete, or was written with a
     /// different record type.
-    pub fn read<T: Clone + Send + Sync + 'static>(
+    pub fn read<T: Send + Sync + 'static>(
         &self,
         shuffle_id: usize,
         reduce_partition: usize,
     ) -> Vec<FetchedBucket<T>> {
-        let s = self.shuffles.lock();
-        let data = s
+        let mut inner = self.inner.lock();
+        let data = inner
+            .shuffles
             .get(&shuffle_id)
             .unwrap_or_else(|| panic!("shuffle {shuffle_id} not materialized"));
-        data.map_outputs
+        let mut reloaded = 0u64;
+        let fetched: Vec<FetchedBucket<T>> = data
+            .map_outputs
             .iter()
             .enumerate()
             .map(|(map_partition, out)| {
@@ -171,20 +312,35 @@ impl ShuffleService {
                     .buckets
                     .downcast_ref::<Vec<Arc<Vec<T>>>>()
                     .expect("shuffle read with mismatched record type");
+                if out.spilled {
+                    reloaded += out.bucket_bytes[reduce_partition];
+                }
                 FetchedBucket {
                     map_partition,
                     records: buckets[reduce_partition].clone(),
                     bytes: out.bucket_bytes[reduce_partition],
                 }
             })
-            .collect()
+            .collect();
+        if reloaded > 0 {
+            inner.spill_read_bytes += reloaded;
+        }
+        drop(inner);
+        if reloaded > 0 {
+            if let Some(m) = &self.metrics {
+                m.record_spill_read(&shuffle_owner(shuffle_id), reloaded);
+            }
+        }
+        fetched
     }
 
     /// Records stored for one reduce partition across all map outputs
     /// (metadata only; no clone).
     pub fn reduce_partition_records(&self, shuffle_id: usize, reduce_partition: usize) -> u64 {
-        let s = self.shuffles.lock();
-        s.get(&shuffle_id)
+        let inner = self.inner.lock();
+        inner
+            .shuffles
+            .get(&shuffle_id)
             .map(|d| {
                 d.map_outputs
                     .iter()
@@ -197,7 +353,14 @@ impl ShuffleService {
 
     /// Drops a shuffle's data (Spark's `unpersist` of shuffle files).
     pub fn remove(&self, shuffle_id: usize) {
-        self.shuffles.lock().remove(&shuffle_id);
+        let mut inner = self.inner.lock();
+        if let Some(data) = inner.shuffles.remove(&shuffle_id) {
+            for (map_partition, output) in data.map_outputs.iter().enumerate() {
+                if let Some(output) = output {
+                    self.release_output(&mut inner, shuffle_id, map_partition, output);
+                }
+            }
+        }
     }
 
     /// Drops every stored shuffle (the engine's analogue of Spark's
@@ -205,12 +368,35 @@ impl ShuffleService {
     /// re-materializes a cleared shuffle if a later job needs it, so this
     /// is always safe — merely a time/space trade.
     pub fn clear(&self) {
-        self.shuffles.lock().clear();
+        let mut inner = self.inner.lock();
+        let shuffles = std::mem::take(&mut inner.shuffles);
+        for (shuffle_id, data) in &shuffles {
+            for (map_partition, output) in data.map_outputs.iter().enumerate() {
+                if let Some(output) = output {
+                    self.release_output(&mut inner, *shuffle_id, map_partition, output);
+                }
+            }
+        }
     }
 
     /// Number of live shuffles (for leak checks in tests).
     pub fn live_shuffles(&self) -> usize {
-        self.shuffles.lock().len()
+        self.inner.lock().shuffles.len()
+    }
+
+    /// Bytes of map outputs currently resident in memory (non-spilled).
+    pub fn memory_bytes(&self) -> u64 {
+        self.inner.lock().mem_bytes
+    }
+
+    /// Total map-output bytes spilled to disk over the service's life.
+    pub fn spilled_bytes(&self) -> u64 {
+        self.inner.lock().spilled_bytes
+    }
+
+    /// Total bucket bytes fetched from spilled map outputs.
+    pub fn spill_read_bytes(&self) -> u64 {
+        self.inner.lock().spill_read_bytes
     }
 }
 
@@ -258,6 +444,7 @@ mod tests {
         assert_eq!(svc.live_shuffles(), 2);
         svc.clear();
         assert_eq!(svc.live_shuffles(), 0);
+        assert_eq!(svc.memory_bytes(), 0);
     }
 
     #[test]
@@ -266,8 +453,10 @@ mod tests {
         svc.register(2, 1, 1);
         svc.put_map_output(2, 0, vec![vec![1u8]], vec![1]);
         assert_eq!(svc.live_shuffles(), 1);
+        assert_eq!(svc.memory_bytes(), 1);
         svc.remove(2);
         assert_eq!(svc.live_shuffles(), 0);
+        assert_eq!(svc.memory_bytes(), 0);
         assert!(!svc.is_complete(2));
     }
 
@@ -293,5 +482,48 @@ mod tests {
         let svc = ShuffleService::new();
         svc.register(4, 1, 3);
         svc.put_map_output(4, 0, vec![vec![1u32]], vec![4]);
+    }
+
+    fn bounded(budget: u64) -> ShuffleService {
+        ShuffleService::with_budget(
+            Some(budget),
+            Arc::new(MetricsRegistry::new()),
+            Arc::new(DiskStore::new()),
+        )
+    }
+
+    #[test]
+    fn oversized_map_outputs_spill_oldest_first() {
+        let svc = bounded(20);
+        svc.register(1, 3, 1);
+        svc.put_map_output(1, 0, vec![vec![1u64]], vec![8]);
+        svc.put_map_output(1, 1, vec![vec![2u64]], vec![8]);
+        assert_eq!(svc.spilled_bytes(), 0);
+        svc.put_map_output(1, 2, vec![vec![3u64]], vec![8]);
+        // 24 B > 20 B: the oldest output (map 0) spills.
+        assert_eq!(svc.spilled_bytes(), 8);
+        assert_eq!(svc.memory_bytes(), 16);
+        // Data stays readable; fetching the spilled bucket pays a reload.
+        let r = svc.read::<u64>(1, 0);
+        assert_eq!(*r[0].records, vec![1]);
+        assert_eq!(*r[1].records, vec![2]);
+        assert_eq!(*r[2].records, vec![3]);
+        assert_eq!(svc.spill_read_bytes(), 8);
+        // A second read of the spilled bucket pays again.
+        let _ = svc.read::<u64>(1, 0);
+        assert_eq!(svc.spill_read_bytes(), 16);
+    }
+
+    #[test]
+    fn removing_a_spilled_shuffle_keeps_accounting_consistent() {
+        let svc = bounded(8);
+        svc.register(7, 2, 1);
+        svc.put_map_output(7, 0, vec![vec![1u64]], vec![8]);
+        svc.put_map_output(7, 1, vec![vec![2u64]], vec![8]);
+        assert_eq!(svc.spilled_bytes(), 8);
+        assert_eq!(svc.memory_bytes(), 8);
+        svc.remove(7);
+        assert_eq!(svc.memory_bytes(), 0);
+        assert_eq!(svc.live_shuffles(), 0);
     }
 }

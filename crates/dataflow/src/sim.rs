@@ -105,6 +105,13 @@ pub struct TimeModel {
     /// speculative launch (detecting the loss, relaunching, refetching
     /// inputs).
     pub retry_overhead_secs: f64,
+    /// Local-disk spill *write* throughput per node, bytes/second
+    /// (serialize + write to executor-local scratch disk).
+    pub spill_write_bw: f64,
+    /// Local-disk spill *read* throughput per node, bytes/second. Lower
+    /// than the write path: a reload pays the read **and** record
+    /// deserialization.
+    pub spill_read_bw: f64,
     /// Dataset scale compensation: CPU, network and disk terms are
     /// multiplied by this factor (1.0 = none). See the module docs.
     pub work_scale: f64,
@@ -124,6 +131,10 @@ impl TimeModel {
             per_node_overhead_secs: 0.1,
             job_launch_secs: 0.0,
             retry_overhead_secs: 0.3,
+            // Executor-local scratch SSD; reads are slower end-to-end
+            // because a reload also deserializes every record.
+            spill_write_bw: 0.5e9,
+            spill_read_bw: 0.35e9,
             work_scale: 1.0,
             // Calibrated against the paper's 4-node delicious3d point
             // (Figure 2a); see EXPERIMENTS.md.
@@ -148,6 +159,10 @@ impl TimeModel {
             job_launch_secs: 25.0,
             // Hadoop restarts a whole JVM for a re-attempted task.
             retry_overhead_secs: 2.0,
+            // Writable (de)serialization makes both spill paths costlier
+            // than Spark's kryo-like path.
+            spill_write_bw: 0.3e9,
+            spill_read_bw: 0.2e9,
             work_scale: 1.0,
             // Hadoop's per-record path (MR context objects, writable
             // (de)serialization every stage) is costlier than Spark's.
@@ -225,6 +240,19 @@ impl TimeModel {
         self.work_scale * bytes as f64 / (self.network_bw_per_node * nodes.max(1) as f64)
     }
 
+    /// Simulated seconds to spill `bytes` to executor-local disk. Spills
+    /// happen independently on every node, so aggregate throughput scales
+    /// with the cluster size.
+    pub fn spill_write_time(&self, bytes: u64, nodes: usize) -> f64 {
+        self.work_scale * bytes as f64 / (self.spill_write_bw * nodes.max(1) as f64)
+    }
+
+    /// Simulated seconds to reload `bytes` from executor-local disk
+    /// (read + deserialization).
+    pub fn spill_read_time(&self, bytes: u64, nodes: usize) -> f64 {
+        self.work_scale * bytes as f64 / (self.spill_read_bw * nodes.max(1) as f64)
+    }
+
     /// Simulated seconds for an entire recorded job log.
     pub fn job_time(&self, metrics: &JobMetrics) -> f64 {
         let nodes = infer_nodes(metrics);
@@ -240,6 +268,12 @@ impl TimeModel {
                 Event::Broadcast { bytes, .. } => self.broadcast_time(*bytes, nodes),
                 // An elided shuffle costs nothing — that is the point.
                 Event::SkippedShuffle { .. } => 0.0,
+                Event::StorageSpillWrite { bytes, .. } => self.spill_write_time(*bytes, nodes),
+                Event::StorageSpillRead { bytes, .. } => self.spill_read_time(*bytes, nodes),
+                // Eviction itself is free (a map removal); its cost shows
+                // up as the recompute CPU of the re-reading stage, which
+                // the stage's own task metrics already capture.
+                Event::StorageEvicted { .. } | Event::StorageRecompute { .. } => 0.0,
             })
             .sum()
     }
@@ -265,6 +299,15 @@ impl TimeModel {
                 Event::JobBoundary { scope } => add(scope, self.job_launch_secs),
                 Event::Broadcast { scope, bytes } => add(scope, self.broadcast_time(*bytes, nodes)),
                 Event::SkippedShuffle { scope, .. } => add(scope, 0.0),
+                Event::StorageSpillWrite { scope, bytes, .. } => {
+                    add(scope, self.spill_write_time(*bytes, nodes))
+                }
+                Event::StorageSpillRead { scope, bytes, .. } => {
+                    add(scope, self.spill_read_time(*bytes, nodes))
+                }
+                Event::StorageEvicted { scope, .. } | Event::StorageRecompute { scope, .. } => {
+                    add(scope, 0.0)
+                }
             }
         }
         order

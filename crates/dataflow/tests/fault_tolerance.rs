@@ -2,7 +2,7 @@
 //! shuffle outputs; later jobs recover by recomputing exactly the lost
 //! pieces.
 
-use cstf_dataflow::{Cluster, ClusterConfig, StageKind};
+use cstf_dataflow::{prelude::*, StageKind};
 
 fn cluster(nodes: usize) -> Cluster {
     Cluster::new(ClusterConfig::local(4).nodes(nodes).default_parallelism(8))
@@ -11,7 +11,10 @@ fn cluster(nodes: usize) -> Cluster {
 #[test]
 fn failure_loses_only_that_nodes_state() {
     let c = cluster(4);
-    let rdd = c.parallelize((0u32..80).collect(), 8).persist_now();
+    let rdd = c
+        .parallelize((0u32..80).collect(), 8)
+        .persist(StorageLevel::MemoryRaw);
+    let _ = rdd.count();
     assert_eq!(c.block_manager().len(), 8);
     let (blocks, _) = c.simulate_node_failure(1);
     // Partitions 1 and 5 live on node 1 (p % 4).
@@ -27,7 +30,8 @@ fn cached_rdd_recovers_after_failure() {
     let rdd = c
         .parallelize((0u32..100).collect(), 8)
         .map(|x| x * 3)
-        .persist_now();
+        .persist(StorageLevel::MemoryRaw);
+    let _ = rdd.count();
     let before = rdd.collect();
     c.simulate_node_failure(2);
     assert!(!rdd.is_fully_cached());
@@ -118,7 +122,8 @@ fn failure_of_every_node_in_turn_is_survivable() {
     let cached = c
         .parallelize((0u32..60).map(|i| (i % 6, i as u64)).collect(), 6)
         .reduce_by_key(|a, b| a + b)
-        .persist_now();
+        .persist(StorageLevel::MemoryRaw);
+    let _ = cached.count();
     let reference = {
         let mut v = cached.collect();
         v.sort();

@@ -5,7 +5,7 @@
 //! without shuffle-map stages, and that the shuffle-skipping paths return
 //! exactly what the shuffled paths would.
 
-use cstf_dataflow::{Cluster, ClusterConfig, HashPartitioner, PartitionerSig};
+use cstf_dataflow::prelude::*;
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -71,7 +71,14 @@ fn narrow_ops_preserve_and_key_changing_ops_drop() {
         sig
     );
     assert_eq!(parted.filter(|_| true).partitioner().unwrap().sig(), sig);
-    assert_eq!(parted.cache().partitioner().unwrap().sig(), sig);
+    assert_eq!(
+        parted
+            .persist(StorageLevel::MemoryRaw)
+            .partitioner()
+            .unwrap()
+            .sig(),
+        sig
+    );
 
     // Key-changing (or key-oblivious) ops drop it.
     assert!(parted.map(|kv| kv).partitioner().is_none());

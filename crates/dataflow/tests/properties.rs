@@ -1,7 +1,7 @@
 //! Property-based tests: engine operators must agree with sequential
 //! reference semantics for arbitrary inputs and partitionings.
 
-use cstf_dataflow::{Cluster, ClusterConfig};
+use cstf_dataflow::prelude::*;
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
@@ -157,7 +157,7 @@ proptest! {
             v.sort();
             v
         };
-        let cached_rdd = base.cache();
+        let cached_rdd = base.persist(StorageLevel::MemoryRaw);
         let cached_once = {
             let mut v = cached_rdd.reduce_by_key(|a, b| a + b).collect();
             v.sort();

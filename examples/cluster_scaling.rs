@@ -12,8 +12,7 @@
 //! the BIGtensor baseline).
 
 use cstf_core::{CpAls, Strategy};
-use cstf_dataflow::sim::TimeModel;
-use cstf_dataflow::{Cluster, ClusterConfig};
+use cstf_dataflow::prelude::*;
 use cstf_tensor::datasets::SYNT3D;
 
 fn main() {

@@ -13,7 +13,7 @@
 //! example is runnable out of the box.
 
 use cstf_core::{CpAls, Strategy};
-use cstf_dataflow::{Cluster, ClusterConfig};
+use cstf_dataflow::prelude::*;
 use cstf_tensor::{io, random::sparse_low_rank_tensor};
 use std::io::Write;
 use std::path::{Path, PathBuf};

@@ -10,7 +10,7 @@
 //! workload, prints the engine's stage report, then kills a node and shows
 //! lineage recovery — no tensors involved.
 
-use cstf_dataflow::{Cluster, ClusterConfig};
+use cstf_dataflow::prelude::*;
 
 fn main() {
     // 8 simulated nodes on local threads.
@@ -31,7 +31,9 @@ fn main() {
     println!("analyzing {} log lines on 8 simulated nodes", lines.len());
 
     // Lazy pipeline: nothing executes until an action.
-    let logs = cluster.parallelize(lines, 32).cache();
+    let logs = cluster
+        .parallelize(lines, 32)
+        .persist(StorageLevel::MemoryRaw);
     let errors = logs.filter(|(level, _, _)| level == "ERROR");
 
     // reduceByKey → per-subsystem error counts (one shuffle).

@@ -10,7 +10,7 @@
 //! traffic the run produced.
 
 use cstf_core::{CpAls, Strategy};
-use cstf_dataflow::{Cluster, ClusterConfig};
+use cstf_dataflow::prelude::*;
 use cstf_tensor::random::sparse_low_rank_tensor;
 
 fn main() {

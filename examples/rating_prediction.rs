@@ -12,7 +12,7 @@
 //! baseline on a test split.
 
 use cstf_core::{CpAls, CpCompletion};
-use cstf_dataflow::{Cluster, ClusterConfig};
+use cstf_dataflow::prelude::*;
 use cstf_tensor::CooTensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -12,7 +12,7 @@
 //! intro cites as a motivating application area.
 
 use cstf_core::{CpAls, Strategy};
-use cstf_dataflow::{Cluster, ClusterConfig};
+use cstf_dataflow::prelude::*;
 use cstf_tensor::random::sparse_low_rank_tensor;
 use cstf_tensor::CooTensor;
 

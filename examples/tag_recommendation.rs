@@ -11,7 +11,7 @@
 //! service would: score candidate tags for a (user, item) pair.
 
 use cstf_core::{CpAls, Strategy};
-use cstf_dataflow::{Cluster, ClusterConfig};
+use cstf_dataflow::prelude::*;
 use cstf_tensor::CooTensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

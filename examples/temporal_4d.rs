@@ -13,7 +13,7 @@
 
 use cstf_core::cost::{iteration_communication, qcoo_savings, Algorithm};
 use cstf_core::{CpAls, Strategy};
-use cstf_dataflow::{Cluster, ClusterConfig};
+use cstf_dataflow::prelude::*;
 use cstf_tensor::datasets::FLICKR;
 
 fn main() {

@@ -3,7 +3,7 @@
 //! The actual tests live in `tests/` next to this file; this library only
 //! hosts shared fixtures.
 
-use cstf_dataflow::{Cluster, ClusterConfig};
+use cstf_dataflow::prelude::*;
 use cstf_tensor::DenseMatrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

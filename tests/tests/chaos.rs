@@ -9,7 +9,7 @@ use cstf_core::factors::tensor_to_rdd;
 use cstf_core::mttkrp::{mttkrp_coo, MttkrpOptions};
 use cstf_core::qcoo::QcooState;
 use cstf_core::{CpAls, Strategy};
-use cstf_dataflow::{Cluster, ClusterConfig, FaultConfig};
+use cstf_dataflow::prelude::*;
 use cstf_integration_tests::{random_factors, test_cluster};
 use cstf_tensor::random::{sparse_low_rank_tensor, RandomTensor};
 use cstf_tensor::{CooTensor, DenseMatrix};
@@ -58,7 +58,7 @@ fn coo_mttkrp_bit_identical_across_twenty_fault_schedules() {
 
     let clean = {
         let c = test_cluster(4);
-        let rdd = tensor_to_rdd(&c, &t, 8).cache();
+        let rdd = tensor_to_rdd(&c, &t, 8).persist(StorageLevel::MemoryRaw);
         (0..t.order())
             .map(|m| mttkrp_coo(&c, &rdd, &factors, t.shape(), m, &MttkrpOptions::default()))
             .collect::<Result<Vec<_>, _>>()
@@ -67,7 +67,7 @@ fn coo_mttkrp_bit_identical_across_twenty_fault_schedules() {
 
     for seed in 0..20u64 {
         let c = chaos_cluster(seed, 0.7);
-        let rdd = tensor_to_rdd(&c, &t, 8).cache();
+        let rdd = tensor_to_rdd(&c, &t, 8).persist(StorageLevel::MemoryRaw);
         for (mode, expect) in clean.iter().enumerate() {
             let got = mttkrp_coo(
                 &c,
@@ -101,7 +101,7 @@ fn qcoo_full_mode_cycle_bit_identical_under_faults() {
     let factors = random_factors(t.shape(), 2, 73);
 
     let run = |c: &Cluster| -> Vec<DenseMatrix> {
-        let rdd = tensor_to_rdd(c, &t, 8).cache();
+        let rdd = tensor_to_rdd(c, &t, 8).persist(StorageLevel::MemoryRaw);
         let mut q = QcooState::init(c, &rdd, &factors, t.shape(), 2, 8).unwrap();
         (0..t.order())
             .map(|mode| {
@@ -182,7 +182,7 @@ fn shuffle_metrics_not_double_counted_on_retry() {
     let factors = random_factors(t.shape(), 2, 75);
 
     let run = |c: &Cluster| {
-        let rdd = tensor_to_rdd(c, &t, 8).cache();
+        let rdd = tensor_to_rdd(c, &t, 8).persist(StorageLevel::MemoryRaw);
         for mode in 0..t.order() {
             mttkrp_coo(
                 c,
@@ -258,7 +258,7 @@ fn speculation_under_injected_delays_is_bit_identical() {
     let factors = random_factors(t.shape(), 2, 76);
 
     let run = |c: &Cluster| {
-        let rdd = tensor_to_rdd(c, &t, 8).cache();
+        let rdd = tensor_to_rdd(c, &t, 8).persist(StorageLevel::MemoryRaw);
         let out = mttkrp_coo(c, &rdd, &factors, t.shape(), 0, &MttkrpOptions::default()).unwrap();
         (out, c.metrics().snapshot())
     };
@@ -306,7 +306,7 @@ fn fault_schedules_replay_deterministically() {
 
     let count = |seed: u64| {
         let c = chaos_cluster(seed, 0.5);
-        let rdd = tensor_to_rdd(&c, &t, 8).cache();
+        let rdd = tensor_to_rdd(&c, &t, 8).persist(StorageLevel::MemoryRaw);
         mttkrp_coo(&c, &rdd, &factors, t.shape(), 0, &MttkrpOptions::default()).unwrap();
         c.metrics().snapshot().total_task_failures()
     };

@@ -5,6 +5,7 @@
 use cstf_core::factors::tensor_to_rdd;
 use cstf_core::mttkrp::{mttkrp_coo, MttkrpOptions};
 use cstf_core::qcoo::QcooState;
+use cstf_dataflow::prelude::*;
 use cstf_integration_tests::{random_factors, test_cluster};
 use cstf_tensor::mttkrp::mttkrp as mttkrp_seq;
 use cstf_tensor::{CooTensor, DenseMatrix};
@@ -33,7 +34,7 @@ proptest! {
     #[test]
     fn coo_matches_sequential(t in arb_tensor(), rank in 1usize..4, fseed in any::<u64>()) {
         let c = test_cluster(3);
-        let rdd = tensor_to_rdd(&c, &t, 4).cache();
+        let rdd = tensor_to_rdd(&c, &t, 4).persist(StorageLevel::MemoryRaw);
         let factors = random_factors(t.shape(), rank, fseed);
         let refs: Vec<&DenseMatrix> = factors.iter().collect();
         for mode in 0..t.order() {
@@ -49,7 +50,7 @@ proptest! {
     fn qcoo_matches_sequential(t in arb_tensor(), fseed in any::<u64>()) {
         let rank = 2;
         let c = test_cluster(3);
-        let rdd = tensor_to_rdd(&c, &t, 4).cache();
+        let rdd = tensor_to_rdd(&c, &t, 4).persist(StorageLevel::MemoryRaw);
         let factors = random_factors(t.shape(), rank, fseed);
         let refs: Vec<&DenseMatrix> = factors.iter().collect();
         let mut q = QcooState::init(&c, &rdd, &factors, t.shape(), rank, 4).unwrap();
@@ -102,7 +103,8 @@ proptest! {
             let c = cstf_dataflow::Cluster::new(
                 cstf_dataflow::ClusterConfig::local(2).nodes(nodes).default_parallelism(6),
             );
-            let rdd = tensor_to_rdd(&c, &t, 6).persist_now();
+            let rdd = tensor_to_rdd(&c, &t, 6).persist(StorageLevel::MemoryRaw);
+            let _ = rdd.count();
             c.metrics().reset();
             let _ = mttkrp_coo(&c, &rdd, &factors, t.shape(), 0,
                 &MttkrpOptions { partitions: Some(6), ..Default::default() }).unwrap();

@@ -4,6 +4,7 @@
 
 use cstf_core::factors::tensor_to_rdd;
 use cstf_core::mttkrp::{mttkrp_coo, mttkrp_coo_broadcast, MttkrpOptions};
+use cstf_dataflow::prelude::*;
 use cstf_integration_tests::{random_factors, test_cluster};
 use cstf_tensor::csf::CsfTensor;
 use cstf_tensor::dimtree::DimTree;
@@ -20,7 +21,8 @@ fn all_seven_mttkrp_implementations_agree() {
     let factors = random_factors(t.shape(), 3, 72);
     let refs: Vec<&DenseMatrix> = factors.iter().collect();
     let c = test_cluster(4);
-    let rdd = tensor_to_rdd(&c, &t, 8).persist_now();
+    let rdd = tensor_to_rdd(&c, &t, 8).persist(StorageLevel::MemoryRaw);
+    let _ = rdd.count();
     let mut tree = DimTree::new(t.clone(), 3).unwrap();
 
     for mode in 0..3 {

@@ -6,6 +6,7 @@
 use cstf_core::factors::tensor_to_rdd;
 use cstf_core::mttkrp::{mttkrp_coo, MttkrpOptions};
 use cstf_core::qcoo::QcooState;
+use cstf_dataflow::prelude::*;
 use cstf_integration_tests::{random_factors, test_cluster};
 use cstf_tensor::random::RandomTensor;
 use cstf_tensor::{CooTensor, DenseMatrix};
@@ -22,7 +23,8 @@ fn coo_mttkrp_survives_node_failure() {
     let t = tensor();
     let factors = random_factors(t.shape(), 2, 52);
     let c = test_cluster(4);
-    let rdd = tensor_to_rdd(&c, &t, 8).persist_now();
+    let rdd = tensor_to_rdd(&c, &t, 8).persist(StorageLevel::MemoryRaw);
+    let _ = rdd.count();
     let clean = mttkrp_coo(&c, &rdd, &factors, t.shape(), 0, &MttkrpOptions::default()).unwrap();
 
     c.simulate_node_failure(1);
@@ -44,7 +46,8 @@ fn qcoo_pipeline_survives_failures_between_steps() {
     // Reference: clean run over a full mode cycle.
     let reference: Vec<DenseMatrix> = {
         let c = test_cluster(4);
-        let rdd = tensor_to_rdd(&c, &t, 8).persist_now();
+        let rdd = tensor_to_rdd(&c, &t, 8).persist(StorageLevel::MemoryRaw);
+        let _ = rdd.count();
         let mut q = QcooState::init(&c, &rdd, &factors, t.shape(), 2, 8).unwrap();
         (0..3)
             .map(|_| q.step(&factors[q.next_join_mode()]).unwrap().1)
@@ -53,7 +56,8 @@ fn qcoo_pipeline_survives_failures_between_steps() {
 
     // Faulty run: a different node dies before every step.
     let c = test_cluster(4);
-    let rdd = tensor_to_rdd(&c, &t, 8).persist_now();
+    let rdd = tensor_to_rdd(&c, &t, 8).persist(StorageLevel::MemoryRaw);
+    let _ = rdd.count();
     let mut q = QcooState::init(&c, &rdd, &factors, t.shape(), 2, 8).unwrap();
     for (step, expect) in reference.iter().enumerate() {
         let (lost_blocks, lost_outputs) = c.simulate_node_failure(step % 4);

@@ -6,8 +6,7 @@ use cstf_core::factors::tensor_to_rdd;
 use cstf_core::mttkrp::{mttkrp_coo, MttkrpOptions};
 use cstf_core::qcoo::QcooState;
 use cstf_core::{CpAls, Strategy};
-use cstf_dataflow::sim::TimeModel;
-use cstf_dataflow::JobMetrics;
+use cstf_dataflow::prelude::*;
 use cstf_integration_tests::{random_factors, test_cluster};
 use cstf_tensor::random::RandomTensor;
 use cstf_tensor::CooTensor;
@@ -35,7 +34,8 @@ fn table4_shuffle_counts_all_algorithms() {
     .iter()
     .map(|alg| {
         let c = test_cluster(4);
-        let rdd = tensor_to_rdd(&c, &t, 8).persist_now();
+        let rdd = tensor_to_rdd(&c, &t, 8).persist(StorageLevel::MemoryRaw);
+        let _ = rdd.count();
         match alg {
             Algorithm::BigTensor => {
                 c.metrics().reset();

@@ -5,13 +5,11 @@
 //! cluster, after `simulate_node_failure`, and under seeded task-crash
 //! schedules.
 
-use cstf_core::factors::{factor_to_rdd_partitioned, tensor_to_rdd, tensor_to_rdd_partitioned};
+use cstf_core::factors::{factor_to_rdd, tensor_to_rdd, tensor_to_rdd_keyed};
 use cstf_core::mttkrp::{join_order, mttkrp_coo, mttkrp_coo_pre, MttkrpOptions};
-use cstf_core::qcoo::QcooState;
+use cstf_core::qcoo::{QcooOptions, QcooState};
 use cstf_core::{CpAls, Partitioning, Strategy};
-use cstf_dataflow::{
-    Cluster, ClusterConfig, FaultConfig, HashPartitioner, KeyPartitioner, PartitionerSig,
-};
+use cstf_dataflow::prelude::*;
 use cstf_integration_tests::{random_factors, test_cluster};
 use cstf_tensor::random::RandomTensor;
 use cstf_tensor::{CooTensor, DenseMatrix};
@@ -56,7 +54,8 @@ fn partitioned_factor_rdd_reports_provenance() {
     let c = test_cluster(2);
     let factors = random_factors(&[10, 8, 6], 2, 91);
     let p: Arc<dyn KeyPartitioner<u32>> = Arc::new(HashPartitioner::new(6));
-    let rdd = factor_to_rdd_partitioned(&c, &factors[0], p);
+    let pref = PartitionerRef::of(p);
+    let rdd = factor_to_rdd(&c, &factors[0], 6, Some(&pref));
     assert_eq!(rdd.partitioner().unwrap().sig(), PartitionerSig::Hash(6));
     assert_eq!(rdd.count(), 10);
 }
@@ -75,7 +74,8 @@ fn pre_partitioned_mttkrp_recovers_from_every_node_failure() {
     // holds when records land in the same buckets in the same order.
     let clean = {
         let c = test_cluster(4);
-        let rdd = tensor_to_rdd(&c, &t, 8).persist_now();
+        let rdd = tensor_to_rdd(&c, &t, 8).persist(StorageLevel::MemoryRaw);
+        let _ = rdd.count();
         let opts = MttkrpOptions {
             partitions: Some(8),
             ..MttkrpOptions::default()
@@ -86,7 +86,10 @@ fn pre_partitioned_mttkrp_recovers_from_every_node_failure() {
     for node in 0..4 {
         let c = test_cluster(4);
         let p: Arc<dyn KeyPartitioner<u32>> = Arc::new(HashPartitioner::new(8));
-        let keyed = tensor_to_rdd_partitioned(&c, &t, first, p).persist_now();
+        let pref = PartitionerRef::of(p);
+        let keyed =
+            tensor_to_rdd_keyed(&c, &t, first, 8, Some(&pref)).persist(StorageLevel::MemoryRaw);
+        let _ = keyed.count();
         let opts = MttkrpOptions {
             partitions: Some(8),
             ..MttkrpOptions::default()
@@ -151,8 +154,13 @@ fn co_partitioned_qcoo_survives_failures_between_steps() {
     // Reference: legacy (fully shuffled) QCOO over a full mode cycle.
     let reference: Vec<DenseMatrix> = {
         let c = test_cluster(4);
-        let rdd = tensor_to_rdd(&c, &t, 8).persist_now();
-        let mut q = QcooState::init_with(&c, &rdd, &factors, t.shape(), 2, 8, false).unwrap();
+        let rdd = tensor_to_rdd(&c, &t, 8).persist(StorageLevel::MemoryRaw);
+        let _ = rdd.count();
+        let opts = QcooOptions {
+            co_partition_factors: false,
+            ..QcooOptions::default()
+        };
+        let mut q = QcooState::init_with(&c, &rdd, &factors, t.shape(), 2, 8, opts).unwrap();
         (0..3)
             .map(|_| q.step(&factors[q.next_join_mode()]).unwrap().1)
             .collect()
@@ -160,7 +168,8 @@ fn co_partitioned_qcoo_survives_failures_between_steps() {
 
     // Co-partitioned run with a different node dying before every step.
     let c = test_cluster(4);
-    let rdd = tensor_to_rdd(&c, &t, 8).persist_now();
+    let rdd = tensor_to_rdd(&c, &t, 8).persist(StorageLevel::MemoryRaw);
+    let _ = rdd.count();
     let mut q = QcooState::init(&c, &rdd, &factors, t.shape(), 2, 8).unwrap();
     for (step, expect) in reference.iter().enumerate() {
         c.simulate_node_failure(step % 4);
