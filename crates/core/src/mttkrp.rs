@@ -30,6 +30,19 @@
 //! of `N`, strictly better than Table 4's COO row. Results are
 //! bit-identical in every case: buckets receive the same records in the
 //! same order whether they travel through a shuffle or are read narrowly.
+//!
+//! # Stage concurrency
+//!
+//! The engine's [`cstf_dataflow::scheduler`] cuts each MTTKRP action into
+//! a stage DAG and runs independent stages of a wave concurrently. With
+//! `co_partition_factors: false` the factor-side shuffles have no
+//! dependency path to the tensor-side ones, so an order-3 `mttkrp_coo`
+//! schedules all three wave-0 stages (tensor key + both factor shuffles)
+//! at once — the overlap Spark's `DAGScheduler` gives the paper's
+//! implementation for free, and what the critical-path time model prices
+//! (`ablation_scheduler`). The default co-partitioned path replaces those
+//! factor stages with narrow reads, leaving a pure chain: fewer stages,
+//! but nothing left for the scheduler to overlap.
 
 use crate::factors::{factor_to_rdd, rows_to_matrix};
 use crate::records::{add_rows, hadamard_rows, scale_row, CooRecord, Row};

@@ -18,6 +18,12 @@
 //! costs one join + one reduceByKey = 2 shuffles (Table 4), at the price of
 //! `(N−1)·nnz·R` carried state. The state RDD is cached after each
 //! rotation and the previous one unpersisted, exactly as §4.2 describes.
+//!
+//! Because each stage consumes the previous stage's output, a QCOO step
+//! is a *chain* in the [`cstf_dataflow::scheduler`]'s stage DAG: its
+//! critical path equals its serial stage sum, so concurrent wave
+//! scheduling neither helps nor hurts it (the `ablation_scheduler`
+//! experiment shows ratio 1.0, against COO's strict improvement).
 
 use crate::factors::{factor_to_rdd, rows_to_matrix};
 use crate::records::{add_rows, CooRecord, QRecord};

@@ -40,6 +40,12 @@ pub struct ClusterConfig {
     /// spilling `MemoryAndDisk` blocks — and the shuffle service spills
     /// its oldest map outputs. `None` (the default) is unbounded.
     pub memory_budget: Option<u64>,
+    /// Forces the DAG scheduler to run one stage at a time, in
+    /// topological order, instead of submitting all stages of a wave
+    /// concurrently. Results are bit-identical either way (that is
+    /// asserted by the scheduler test suite); this exists as the
+    /// comparison baseline and for debugging.
+    pub sequential_stages: bool,
 }
 
 impl ClusterConfig {
@@ -56,6 +62,7 @@ impl ClusterConfig {
             speculation: None,
             faults: None,
             memory_budget: None,
+            sequential_stages: false,
         }
     }
 
@@ -131,6 +138,14 @@ impl ClusterConfig {
             self.max_task_attempts,
         );
         self.faults = Some(faults);
+        self
+    }
+
+    /// Forces one stage per scheduling wave (the pre-DAG behaviour):
+    /// stages run alone, in topological order. Used as the bit-identity
+    /// baseline for the concurrent scheduler in tests and benches.
+    pub fn sequential_stages(mut self) -> Self {
+        self.sequential_stages = true;
         self
     }
 

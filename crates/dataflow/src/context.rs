@@ -1,13 +1,13 @@
 //! The cluster driver: owns executor, shuffle service, cache and metrics,
-//! and schedules jobs stage-by-stage like Spark's DAGScheduler.
+//! and submits jobs to the [`crate::scheduler`] (the engine's
+//! DAGScheduler), which executes independent stages concurrently.
 
 use crate::cache::{BlockManager, DiskStore};
 use crate::config::ClusterConfig;
 use crate::executor::{Executor, RunPolicy};
 use crate::fault::{FaultInjector, InjectedFault};
-use crate::hash::FxHashSet;
-use crate::metrics::{MetricsRegistry, StageCollector, StageKind};
-use crate::rdd::{Dependency, NodeInfo, Rdd, RddNode, ShuffleDependency};
+use crate::metrics::{MetricsRegistry, StageCollector, StageDag, StageKind};
+use crate::rdd::{NodeInfo, Rdd, RddNode};
 use crate::shuffle::ShuffleService;
 use crate::Data;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -16,11 +16,11 @@ use std::time::Instant;
 
 /// Everything a winning task attempt hands back to the driver: the task's
 /// value plus the metrics that must only be committed once per task.
-struct TaskRun<O> {
-    value: O,
-    records: u64,
-    cpu_secs: f64,
-    sink: StageCollector,
+pub(crate) struct TaskRun<O> {
+    pub(crate) value: O,
+    pub(crate) records: u64,
+    pub(crate) cpu_secs: f64,
+    pub(crate) sink: StageCollector,
 }
 
 /// Runs one attempt of a task: applies the injected fault (if any),
@@ -28,7 +28,7 @@ struct TaskRun<O> {
 /// packages the result for driver-side commit. Failed attempts return
 /// `Err`, and their sink — along with any shuffle output `body` prepared —
 /// is dropped with the `TaskRun`, never reaching shared state.
-fn run_attempt<O>(
+pub(crate) fn run_attempt<O>(
     cluster: &Cluster,
     injector: Option<&FaultInjector>,
     stage_id: usize,
@@ -204,7 +204,6 @@ impl Cluster {
             .inner
             .blocks
             .remove_where(|partition| config.node_of(partition) == node);
-        let config = self.inner.config.clone();
         let outputs = self
             .inner
             .shuffle
@@ -212,47 +211,13 @@ impl Cluster {
         (blocks, outputs)
     }
 
-    /// Walks `root`'s lineage and materializes every pending shuffle
-    /// dependency, parents before children. Lineage is pruned below
-    /// fully-cached RDDs and already-materialized shuffles.
-    pub(crate) fn ensure_dependencies(&self, root: Arc<dyn NodeInfo>) {
-        let mut pending: Vec<Arc<dyn ShuffleDependency>> = Vec::new();
-        let mut seen_nodes: FxHashSet<usize> = FxHashSet::default();
-        let mut seen_shuffles: FxHashSet<usize> = FxHashSet::default();
-        self.visit(root, &mut pending, &mut seen_nodes, &mut seen_shuffles);
-        for dep in pending {
-            dep.materialize(self);
-        }
-    }
-
-    fn visit(
-        &self,
-        node: Arc<dyn NodeInfo>,
-        pending: &mut Vec<Arc<dyn ShuffleDependency>>,
-        seen_nodes: &mut FxHashSet<usize>,
-        seen_shuffles: &mut FxHashSet<usize>,
-    ) {
-        if !seen_nodes.insert(node.id()) {
-            return;
-        }
-        for dep in node.deps() {
-            match dep {
-                Dependency::Narrow(parent) => {
-                    self.visit(parent, pending, seen_nodes, seen_shuffles)
-                }
-                Dependency::Shuffle(shuffle) => {
-                    if seen_shuffles.insert(shuffle.shuffle_id()) && !shuffle.materialized(self) {
-                        // Post-order: upstream shuffles first.
-                        self.visit(shuffle.parent_info(), pending, seen_nodes, seen_shuffles);
-                        pending.push(shuffle);
-                    }
-                }
-            }
-        }
+    /// The task executor (used by the scheduler to run stage waves).
+    pub(crate) fn executor(&self) -> &Executor {
+        &self.inner.executor
     }
 
     /// Retry/speculation policy derived from the cluster config.
-    fn run_policy(&self) -> RunPolicy {
+    pub(crate) fn run_policy(&self) -> RunPolicy {
         RunPolicy {
             max_attempts: self.inner.config.max_task_attempts,
             speculation: self.inner.config.speculation.clone(),
@@ -261,13 +226,15 @@ impl Cluster {
 
     /// Fault injector derived from the cluster config, if chaos testing
     /// is enabled.
-    fn fault_injector(&self) -> Option<FaultInjector> {
+    pub(crate) fn fault_injector(&self) -> Option<FaultInjector> {
         self.inner.config.faults.clone().map(FaultInjector::new)
     }
 
-    /// Runs an action: materializes dependencies, then executes one result
-    /// task per partition of `node`, applying `f` to each partition's
-    /// records. Returns per-partition results in partition order.
+    /// Runs an action: plans the job's stage DAG, executes pending
+    /// shuffle-map stages wave-by-wave through the [`crate::scheduler`]
+    /// (independent stages concurrently), then executes one result task
+    /// per partition of `node`, applying `f` to each partition's records.
+    /// Returns per-partition results in partition order.
     ///
     /// Tasks run with bounded retries and optional speculation (see
     /// [`ClusterConfig`]); per-attempt metrics are committed only for the
@@ -284,13 +251,20 @@ impl Cluster {
         f: impl Fn(usize, Vec<T>) -> U + Send + Sync,
     ) -> Vec<U> {
         let info: Arc<dyn NodeInfo> = node.clone();
-        self.ensure_dependencies(info);
+        let job = crate::scheduler::Job::plan(self, &info);
+        let run = crate::scheduler::run_shuffle_stages(self, &job);
 
         let nodes = self.inner.config.nodes;
+        let dag = StageDag {
+            job: run.job_id,
+            wave: job.num_waves,
+            parents: run.metric_ids(&job.result_parents),
+            shuffle_id: None,
+        };
         let collector = self
             .inner
             .metrics
-            .begin_stage(name, StageKind::Result, nodes);
+            .begin_stage_in_dag(name, StageKind::Result, nodes, dag);
         let stage_id = collector.stage_id();
         let injector = self.fault_injector();
         let num_partitions = node.num_partitions();
@@ -322,60 +296,6 @@ impl Cluster {
         collector.record_run_stats(&stats);
         self.inner.metrics.finish_stage(collector);
         results
-    }
-
-    /// Runs one shuffle-map stage over the given partitions of `parent`:
-    /// `prepare` builds each map partition's shuffle output inside the
-    /// task, and `commit` publishes it from the driver — only for the
-    /// winning attempt, so retried and speculatively-duplicated tasks can
-    /// never double-register outputs or double-count write metrics.
-    ///
-    /// Used by shuffle dependencies during (re-)materialization; after a
-    /// node failure only the lost map partitions are listed, so recovery
-    /// work is proportional to the loss (Spark's lineage-based
-    /// recomputation).
-    pub(crate) fn run_shuffle_map_stage<T: Data, P: Send>(
-        &self,
-        parent: &Arc<dyn RddNode<T>>,
-        name: &str,
-        partitions: Vec<usize>,
-        prepare: impl Fn(usize, Vec<T>) -> P + Send + Sync,
-        commit: impl Fn(usize, P, &StageCollector),
-    ) {
-        let nodes = self.inner.config.nodes;
-        let collector = self
-            .inner
-            .metrics
-            .begin_stage(name, StageKind::ShuffleMap, nodes);
-        let stage_id = collector.stage_id();
-        let injector = self.fault_injector();
-        let tasks: Vec<_> = partitions
-            .iter()
-            .map(|&p| {
-                let parent = parent.clone();
-                let prepare = &prepare;
-                let injector = injector.as_ref();
-                move |attempt: usize| {
-                    run_attempt(self, injector, stage_id, p, attempt, |ctx| {
-                        let data = parent.compute(p, ctx);
-                        let records = data.len() as u64;
-                        (prepare(p, data), records)
-                    })
-                }
-            })
-            .collect();
-        let (runs, stats) = self
-            .inner
-            .executor
-            .run_fallible(tasks, &self.run_policy())
-            .unwrap_or_else(|e| panic!("stage '{name}' aborted: {e}"));
-        for (&p, run) in partitions.iter().zip(runs) {
-            collector.record_task(self.inner.config.node_of(p), run.cpu_secs, run.records);
-            collector.absorb(run.sink);
-            commit(p, run.value, &collector);
-        }
-        collector.record_run_stats(&stats);
-        self.inner.metrics.finish_stage(collector);
     }
 }
 

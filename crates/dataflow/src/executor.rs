@@ -63,7 +63,9 @@ impl Default for SpeculationPolicy {
 /// A task that exhausted its retry budget, aborting the batch.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TaskError {
-    /// Index of the failing task within the batch.
+    /// Index of the failing task within the batch. For a multi-stage wave
+    /// ([`Executor::run_wave`]) this is the *flat* index across the
+    /// concatenated stages, in submission order.
     pub task: usize,
     /// Attempts consumed (== the policy's `max_attempts`).
     pub attempts: usize,
@@ -101,6 +103,15 @@ pub struct RunStats {
     pub wasted_task_secs: f64,
 }
 
+/// Results plus recovery accounting for one stage of a wave.
+#[derive(Debug)]
+pub struct StageOutcome<R> {
+    /// Committed task results, in the stage's task order.
+    pub results: Vec<R>,
+    /// Recovery statistics attributed to this stage's tasks only.
+    pub stats: RunStats,
+}
+
 /// One queued execution of a task.
 struct Attempt {
     task: usize,
@@ -113,7 +124,9 @@ struct TaskState<R> {
     result: Mutex<Option<R>>,
     /// First-writer-wins latch: set by the attempt that commits.
     committed: AtomicBool,
-    /// Failures so far (== attempts consumed by failures).
+    /// Failures so far (== attempts consumed by failures). Drives the
+    /// retry budget, so failures made moot by a committed duplicate are
+    /// *not* counted here (see `stat_failures`).
     failures: AtomicUsize,
     /// Next attempt id to hand out (0 went to the initial attempt).
     next_attempt: AtomicUsize,
@@ -121,25 +134,36 @@ struct TaskState<R> {
     speculated: AtomicBool,
     /// Start of the oldest still-relevant attempt, for straggler age.
     running_since: Mutex<Option<Instant>>,
+    /// Every failed attempt, including ones made moot by a duplicate that
+    /// already committed. Kept per task so a multi-stage wave can report
+    /// per-stage [`RunStats`].
+    stat_failures: AtomicU64,
+    stat_retries: AtomicU64,
+    stat_spec_launched: AtomicU64,
+    stat_spec_won: AtomicU64,
+    stat_wasted_nanos: AtomicU64,
 }
 
-/// State shared across the worker threads of one fallible batch.
+/// State shared across the worker threads of one wave (one or more
+/// stages whose task batches execute concurrently).
 struct Batch<'t, F, R> {
     tasks: &'t [F],
     policy: RunPolicy,
     queue: Mutex<VecDeque<Attempt>>,
     available: Condvar,
     done: AtomicBool,
-    remaining: AtomicUsize,
+    /// Stage index of each flat task.
+    stage_of: Vec<usize>,
+    /// Per-stage completion latch: uncommitted task count per stage.
+    stage_remaining: Vec<AtomicUsize>,
+    /// Stages with at least one uncommitted task left.
+    remaining_stages: AtomicUsize,
     states: Vec<TaskState<R>>,
     /// Committed attempt durations (seconds), for the speculation median.
+    /// Shared across the whole wave, like one Spark executor pool serving
+    /// several concurrently-submitted stages.
     durations: Mutex<Vec<f64>>,
     error: Mutex<Option<TaskError>>,
-    failures: AtomicU64,
-    retries: AtomicU64,
-    spec_launched: AtomicU64,
-    spec_won: AtomicU64,
-    wasted_nanos: AtomicU64,
 }
 
 impl<'t, F, R> Batch<'t, F, R>
@@ -147,8 +171,14 @@ where
     F: Fn(usize) -> Result<R, String> + Sync,
     R: Send,
 {
-    fn new(tasks: &'t [F], policy: RunPolicy) -> Self {
+    fn new(tasks: &'t [F], sizes: &[usize], policy: RunPolicy) -> Self {
         let n = tasks.len();
+        debug_assert_eq!(sizes.iter().sum::<usize>(), n);
+        let stage_of: Vec<usize> = sizes
+            .iter()
+            .enumerate()
+            .flat_map(|(stage, &len)| std::iter::repeat_n(stage, len))
+            .collect();
         Batch {
             tasks,
             policy,
@@ -163,7 +193,9 @@ where
             ),
             available: Condvar::new(),
             done: AtomicBool::new(false),
-            remaining: AtomicUsize::new(n),
+            stage_of,
+            stage_remaining: sizes.iter().map(|&len| AtomicUsize::new(len)).collect(),
+            remaining_stages: AtomicUsize::new(sizes.iter().filter(|&&len| len > 0).count()),
             states: (0..n)
                 .map(|_| TaskState {
                     result: Mutex::new(None),
@@ -172,15 +204,15 @@ where
                     next_attempt: AtomicUsize::new(1),
                     speculated: AtomicBool::new(false),
                     running_since: Mutex::new(None),
+                    stat_failures: AtomicU64::new(0),
+                    stat_retries: AtomicU64::new(0),
+                    stat_spec_launched: AtomicU64::new(0),
+                    stat_spec_won: AtomicU64::new(0),
+                    stat_wasted_nanos: AtomicU64::new(0),
                 })
                 .collect(),
             durations: Mutex::new(Vec::new()),
             error: Mutex::new(None),
-            failures: AtomicU64::new(0),
-            retries: AtomicU64::new(0),
-            spec_launched: AtomicU64::new(0),
-            spec_won: AtomicU64::new(0),
-            wasted_nanos: AtomicU64::new(0),
         }
     }
 
@@ -188,11 +220,6 @@ where
     fn finish(&self) {
         self.done.store(true, Ordering::Release);
         self.available.notify_all();
-    }
-
-    fn add_wasted(&self, secs: f64) {
-        self.wasted_nanos
-            .fetch_add((secs * 1e9) as u64, Ordering::Relaxed);
     }
 
     fn enqueue(&self, attempt: Attempt) {
@@ -239,18 +266,23 @@ where
                         *state.result.lock() = Some(value);
                         self.durations.lock().push(elapsed);
                         if att.speculative {
-                            self.spec_won.fetch_add(1, Ordering::Relaxed);
+                            state.stat_spec_won.fetch_add(1, Ordering::Relaxed);
                         }
-                        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        // Per-stage latch first, then the wave-level one:
+                        // the wave finishes when its last stage does.
+                        let stage = self.stage_of[att.task];
+                        if self.stage_remaining[stage].fetch_sub(1, Ordering::AcqRel) == 1
+                            && self.remaining_stages.fetch_sub(1, Ordering::AcqRel) == 1
+                        {
                             self.finish();
                         }
                     } else {
-                        self.add_wasted(elapsed); // lost the commit race
+                        state.add_wasted(elapsed); // lost the commit race
                     }
                 }
                 Err(message) => {
-                    self.failures.fetch_add(1, Ordering::Relaxed);
-                    self.add_wasted(elapsed);
+                    state.stat_failures.fetch_add(1, Ordering::Relaxed);
+                    state.add_wasted(elapsed);
                     if state.committed.load(Ordering::Acquire) {
                         continue; // a duplicate already won; failure is moot
                     }
@@ -263,7 +295,7 @@ where
                         });
                         self.finish();
                     } else {
-                        self.retries.fetch_add(1, Ordering::Relaxed);
+                        state.stat_retries.fetch_add(1, Ordering::Relaxed);
                         let id = state.next_attempt.fetch_add(1, Ordering::AcqRel);
                         self.enqueue(Attempt {
                             task: att.task,
@@ -310,7 +342,7 @@ where
                     .map(|t| t.elapsed().as_secs_f64());
                 if let Some(age) = age {
                     if age > threshold && !state.speculated.swap(true, Ordering::AcqRel) {
-                        self.spec_launched.fetch_add(1, Ordering::Relaxed);
+                        state.stat_spec_launched.fetch_add(1, Ordering::Relaxed);
                         let id = state.next_attempt.fetch_add(1, Ordering::AcqRel);
                         self.enqueue(Attempt {
                             task,
@@ -323,14 +355,27 @@ where
         }
     }
 
-    fn stats(&self) -> RunStats {
-        RunStats {
-            task_failures: self.failures.load(Ordering::Relaxed),
-            task_retries: self.retries.load(Ordering::Relaxed),
-            speculative_launched: self.spec_launched.load(Ordering::Relaxed),
-            speculative_won: self.spec_won.load(Ordering::Relaxed),
-            wasted_task_secs: self.wasted_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+    /// Aggregates the recovery statistics of one contiguous task range
+    /// (one stage of the wave).
+    fn stage_stats(&self, range: std::ops::Range<usize>) -> RunStats {
+        let mut stats = RunStats::default();
+        let mut wasted_nanos = 0u64;
+        for state in &self.states[range] {
+            stats.task_failures += state.stat_failures.load(Ordering::Relaxed);
+            stats.task_retries += state.stat_retries.load(Ordering::Relaxed);
+            stats.speculative_launched += state.stat_spec_launched.load(Ordering::Relaxed);
+            stats.speculative_won += state.stat_spec_won.load(Ordering::Relaxed);
+            wasted_nanos += state.stat_wasted_nanos.load(Ordering::Relaxed);
         }
+        stats.wasted_task_secs = wasted_nanos as f64 * 1e-9;
+        stats
+    }
+}
+
+impl<R> TaskState<R> {
+    fn add_wasted(&self, secs: f64) {
+        self.stat_wasted_nanos
+            .fetch_add((secs * 1e9) as u64, Ordering::Relaxed);
     }
 }
 
@@ -431,14 +476,57 @@ impl Executor {
         F: Fn(usize) -> Result<R, String> + Send + Sync,
         R: Send,
     {
+        let mut wave = self.run_wave(vec![tasks], policy)?;
+        let outcome = wave.pop().expect("one stage in, one outcome out");
+        Ok((outcome.results, outcome.stats))
+    }
+
+    /// Runs a *wave* of stages concurrently: every stage contributes one
+    /// task batch, all tasks share the worker pool and the retry /
+    /// speculation machinery of [`Executor::run_fallible`], and the call
+    /// returns one [`StageOutcome`] per stage (results in task order,
+    /// recovery stats attributed to that stage's tasks only).
+    ///
+    /// This is the executor half of the DAG scheduler: independent stages
+    /// of one job are submitted together so their tasks interleave, while
+    /// per-stage completion latches let the driver commit each stage's
+    /// map outputs exactly once. Tasks from different stages never
+    /// exchange data here — ordering between dependent stages is the
+    /// scheduler's responsibility (it only puts independent stages in the
+    /// same wave).
+    ///
+    /// First-writer-wins commits keep results deterministic: whatever the
+    /// interleaving, retry schedule, or speculation outcome, the returned
+    /// results are bit-identical to a serial run of the same closures.
+    /// The speculation median is computed over the whole wave (one
+    /// executor pool serving all concurrently-submitted stages, as in
+    /// Spark). A [`TaskError`] reports the *flat* task index across the
+    /// concatenated stages.
+    pub fn run_wave<F, R>(
+        &self,
+        stages: Vec<Vec<F>>,
+        policy: &RunPolicy,
+    ) -> Result<Vec<StageOutcome<R>>, TaskError>
+    where
+        F: Fn(usize) -> Result<R, String> + Send + Sync,
+        R: Send,
+    {
+        let sizes: Vec<usize> = stages.iter().map(Vec::len).collect();
+        let tasks: Vec<F> = stages.into_iter().flatten().collect();
         let n = tasks.len();
         if n == 0 {
-            return Ok((Vec::new(), RunStats::default()));
+            return Ok(sizes
+                .iter()
+                .map(|_| StageOutcome {
+                    results: Vec::new(),
+                    stats: RunStats::default(),
+                })
+                .collect());
         }
         let mut policy = policy.clone();
         policy.max_attempts = policy.max_attempts.max(1);
 
-        let batch = Batch::new(&tasks, policy);
+        let batch = Batch::new(&tasks, &sizes, policy);
         std::thread::scope(|scope| {
             for _ in 0..self.threads.min(n) {
                 scope.spawn(|| batch.work());
@@ -451,13 +539,29 @@ impl Executor {
         if let Some(err) = batch.error.lock().take() {
             return Err(err);
         }
-        let stats = batch.stats();
-        let results = batch
+        let stats: Vec<RunStats> = {
+            let mut offset = 0;
+            sizes
+                .iter()
+                .map(|&len| {
+                    let s = batch.stage_stats(offset..offset + len);
+                    offset += len;
+                    s
+                })
+                .collect()
+        };
+        let mut results = batch
             .states
             .into_iter()
-            .map(|s| s.result.into_inner().expect("uncommitted task result"))
-            .collect();
-        Ok((results, stats))
+            .map(|s| s.result.into_inner().expect("uncommitted task result"));
+        Ok(sizes
+            .iter()
+            .zip(stats)
+            .map(|(&len, stats)| StageOutcome {
+                results: results.by_ref().take(len).collect(),
+                stats,
+            })
+            .collect())
     }
 }
 
@@ -678,6 +782,93 @@ mod tests {
         // so just check the speculative copy actually committed first).
         assert!(t0.elapsed() >= Duration::from_millis(20));
         assert!(stats.wasted_task_secs > 0.0, "loser time must be counted");
+    }
+
+    #[test]
+    fn wave_outcomes_split_by_stage() {
+        let ex = Executor::new(4);
+        // One closure-builder so every stage shares a task type, as the
+        // scheduler's single closure site guarantees.
+        let mk = |v: usize| move |_a: usize| Ok::<_, String>(v);
+        let stages: Vec<Vec<_>> = vec![
+            (0..3).map(|i| mk(i * 10)).collect(),
+            Vec::new(),
+            (0..2).map(|i| mk(i + 100)).collect(),
+        ];
+        let out = ex.run_wave(stages, &RunPolicy::default()).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].results, vec![0, 10, 20]);
+        assert!(out[1].results.is_empty());
+        assert_eq!(out[2].results, vec![100, 101]);
+    }
+
+    #[test]
+    fn wave_stats_attributed_to_failing_stage() {
+        let ex = Executor::new(4);
+        let mk = |flaky: bool, i: usize| {
+            move |attempt: usize| {
+                if flaky && attempt == 0 {
+                    Err(format!("flaky task {i}"))
+                } else {
+                    Ok(i)
+                }
+            }
+        };
+        let stages: Vec<Vec<_>> = vec![
+            (0..4).map(|i| mk(true, i)).collect(),
+            (0..4).map(|i| mk(false, i)).collect(),
+        ];
+        let out = ex.run_wave(stages, &RunPolicy::default()).unwrap();
+        assert_eq!(out[0].stats.task_failures, 4);
+        assert_eq!(out[0].stats.task_retries, 4);
+        assert_eq!(out[1].stats, RunStats::default());
+    }
+
+    #[test]
+    fn wave_stages_actually_interleave() {
+        // One task per stage, two stages, two threads: a shared barrier
+        // can only be passed if tasks of *different* stages run at the
+        // same time.
+        let barrier = std::sync::Barrier::new(2);
+        let ex = Executor::new(2);
+        let stages: Vec<Vec<_>> = (0..2)
+            .map(|s| {
+                let b = &barrier;
+                vec![move |_a: usize| {
+                    b.wait();
+                    Ok::<usize, String>(s)
+                }]
+            })
+            .collect();
+        let out = ex.run_wave(stages, &RunPolicy::default()).unwrap();
+        assert_eq!(out[0].results, vec![0]);
+        assert_eq!(out[1].results, vec![1]);
+    }
+
+    #[test]
+    fn wave_error_reports_flat_task_index() {
+        let ex = Executor::new(2);
+        let mk = |doomed: bool, i: usize| {
+            move |_a: usize| {
+                if doomed {
+                    Err("doomed".to_string())
+                } else {
+                    Ok(i)
+                }
+            }
+        };
+        let stages: Vec<Vec<_>> = vec![(0..2).map(|i| mk(false, i)).collect(), vec![mk(true, 0)]];
+        let err = ex
+            .run_wave(
+                stages,
+                &RunPolicy {
+                    max_attempts: 2,
+                    speculation: None,
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err.task, 2);
+        assert_eq!(err.attempts, 2);
     }
 
     #[test]

@@ -11,8 +11,10 @@
 //!   wide transformations (`join`, `reduce_by_key`, `partition_by`) insert
 //!   shuffle boundaries exactly where Spark would.
 //! * [`Cluster`] — the driver: owns the executor pool, shuffle service,
-//!   block manager (cache) and metrics. Jobs are scheduled stage by stage,
-//!   topologically over the shuffle dependencies, like Spark's DAGScheduler.
+//!   block manager (cache) and metrics. Actions submit jobs to the
+//!   [`scheduler`] — the engine's DAGScheduler — which cuts lineage into a
+//!   stage graph at shuffle boundaries and runs independent stages of each
+//!   wave concurrently.
 //! * **Simulated nodes** — partitions are placed on `n` virtual nodes
 //!   (`partition mod n`). Every shuffle record that crosses a node boundary
 //!   is counted as *remote bytes read*; records staying on the node count
@@ -56,6 +58,7 @@ pub mod hash;
 pub mod metrics;
 pub mod partitioner;
 pub mod rdd;
+pub mod scheduler;
 pub mod shuffle;
 pub mod sim;
 pub mod size;
@@ -71,6 +74,7 @@ pub use partitioner::{
     HashPartitioner, KeyPartitioner, PartitionerRef, PartitionerSig, RangePartitioner,
 };
 pub use rdd::Rdd;
+pub use scheduler::{Job, Stage};
 pub use size::EstimateSize;
 
 /// One-stop import for the engine's everyday surface:

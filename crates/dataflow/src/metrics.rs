@@ -21,11 +21,33 @@ pub enum StageKind {
     Result,
 }
 
+/// Placement of a stage in its job's dependency DAG, recorded by the
+/// [`crate::scheduler`] when it submits the stage.
+///
+/// Parents are metrics-log stage ids (including skipped stages), so the
+/// DAG can be reconstructed from the event log alone — that is what the
+/// critical-path time model and the report's STAGES section do.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct StageDag {
+    /// Job (action) this stage was executed for; monotonic per cluster.
+    pub job: usize,
+    /// Scheduling wave: the longest pending-stage path below this stage.
+    /// The job's result stage runs as the final wave.
+    pub wave: usize,
+    /// Metrics-log stage ids of the stages this one reads shuffles from.
+    pub parents: Vec<usize>,
+    /// Shuffle produced by this stage (`None` for the result stage).
+    pub shuffle_id: Option<usize>,
+}
+
 /// Aggregated measurements for one executed stage.
 #[derive(Debug, Clone, Serialize)]
 pub struct StageMetrics {
     /// Monotonic stage id within the cluster.
     pub stage_id: usize,
+    /// Where this stage sits in its job's DAG (`None` for stages recorded
+    /// outside the DAG scheduler, e.g. synthetic test stages).
+    pub dag: Option<StageDag>,
     /// User-set scope label active when the stage ran (e.g. `"MTTKRP-1"`).
     pub scope: String,
     /// Human-readable stage name (operator that caused it).
@@ -73,6 +95,7 @@ impl StageMetrics {
     fn new(stage_id: usize, scope: String, name: String, kind: StageKind, nodes: usize) -> Self {
         StageMetrics {
             stage_id,
+            dag: None,
             scope,
             name,
             kind,
@@ -244,6 +267,22 @@ pub enum Event {
         /// Operator whose shuffle was skipped (e.g. `"cogroup-left"`).
         name: String,
     },
+    /// A shuffle-map stage the DAG scheduler skipped because its shuffle
+    /// is already fully materialized (the Spark UI's grey "skipped"
+    /// stage). It consumes a stage id so later stages can cite it as a
+    /// DAG parent, but runs no tasks and costs no modeled time.
+    SkippedStage {
+        /// Scope label active when recorded.
+        scope: String,
+        /// Stage id allocated to the skipped stage.
+        stage_id: usize,
+        /// Job the pruned stage was planned for.
+        job: usize,
+        /// Stage name, e.g. `shuffle-map(partition_by)`.
+        name: String,
+        /// The already-materialized shuffle.
+        shuffle_id: usize,
+    },
     /// The memory budget enforcer dropped or spilled a block from memory.
     StorageEvicted {
         /// Scope label active when recorded.
@@ -328,6 +367,39 @@ impl JobMetrics {
             .iter()
             .filter(|e| matches!(e, Event::SkippedShuffle { .. }))
             .count()
+    }
+
+    /// Number of stages the DAG scheduler skipped as already
+    /// materialized (lineage pruned below a complete shuffle).
+    pub fn skipped_stage_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, Event::SkippedStage { .. }))
+            .count()
+    }
+
+    /// Job ids that appear in the log, in first-seen order.
+    pub fn dag_jobs(&self) -> Vec<usize> {
+        let mut jobs = Vec::new();
+        for e in &self.events {
+            let job = match e {
+                Event::Stage(s) => s.dag.as_ref().map(|d| d.job),
+                Event::SkippedStage { job, .. } => Some(*job),
+                _ => None,
+            };
+            if let Some(job) = job {
+                if !jobs.contains(&job) {
+                    jobs.push(job);
+                }
+            }
+        }
+        jobs
+    }
+
+    /// Executed stages belonging to one job, in execution order.
+    pub fn stages_in_job(&self, job: usize) -> impl Iterator<Item = &StageMetrics> + '_ {
+        self.stages()
+            .filter(move |s| s.dag.as_ref().is_some_and(|d| d.job == job))
     }
 
     /// Total remote shuffle bytes read.
@@ -592,6 +664,20 @@ impl JobMetrics {
                         truncate(name, 32)
                     );
                 }
+                Event::SkippedStage {
+                    scope,
+                    stage_id,
+                    name,
+                    ..
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "{:>5}  {:<10} skipped    {:<32} (materialized)",
+                        stage_id,
+                        truncate(scope, 10),
+                        truncate(name, 32),
+                    );
+                }
                 // Storage events are high-volume (one per block); they are
                 // aggregated into the STORAGE summary below instead of
                 // printed inline.
@@ -599,6 +685,60 @@ impl JobMetrics {
                 | Event::StorageSpillWrite { .. }
                 | Event::StorageSpillRead { .. }
                 | Event::StorageRecompute { .. } => {}
+            }
+        }
+        // Per-job stage DAGs: edges, wave per stage, and the
+        // critical-path / serialized-sum ratio (priced with the default
+        // Spark time-model profile), so stage-overlap wins are visible
+        // without reading the sim code.
+        let model = crate::sim::TimeModel::spark();
+        for job in self.dag_jobs() {
+            let waves = self
+                .stages_in_job(job)
+                .filter_map(|s| s.dag.as_ref())
+                .map(|d| d.wave + 1)
+                .max()
+                .unwrap_or(0);
+            let critical = model.job_critical_path(self, job);
+            let serialized = model.job_serialized(self, job);
+            let ratio = if serialized > 0.0 {
+                critical / serialized
+            } else {
+                1.0
+            };
+            let _ = writeln!(
+                out,
+                "STAGES job {job} | {waves} waves | critical-path {critical:.4} s / serialized {serialized:.4} s = {ratio:.2}",
+            );
+            for e in &self.events {
+                match e {
+                    Event::Stage(s) => {
+                        if let Some(d) = s.dag.as_ref().filter(|d| d.job == job) {
+                            let _ = writeln!(
+                                out,
+                                "  wave {:>2}  stage {:>3}  {:<32} <- {:?}",
+                                d.wave,
+                                s.stage_id,
+                                truncate(&s.name, 32),
+                                d.parents,
+                            );
+                        }
+                    }
+                    Event::SkippedStage {
+                        stage_id,
+                        job: j,
+                        name,
+                        ..
+                    } if *j == job => {
+                        let _ = writeln!(
+                            out,
+                            "  cached    stage {:>3}  {:<32} <- []",
+                            stage_id,
+                            truncate(name, 32),
+                        );
+                    }
+                    _ => {}
+                }
             }
         }
         let _ = writeln!(
@@ -662,6 +802,7 @@ pub struct MetricsRegistry {
     events: Mutex<Vec<Event>>,
     scope: Mutex<String>,
     next_stage: std::sync::atomic::AtomicUsize,
+    next_job: std::sync::atomic::AtomicUsize,
 }
 
 impl MetricsRegistry {
@@ -705,6 +846,46 @@ impl MetricsRegistry {
                 nodes,
             )),
         }
+    }
+
+    /// Starts collecting a new stage with its DAG placement recorded
+    /// (used by the scheduler; [`Self::begin_stage`] keeps `dag: None`
+    /// for stages recorded outside a job plan).
+    pub(crate) fn begin_stage_in_dag(
+        &self,
+        name: impl Into<String>,
+        kind: StageKind,
+        nodes: usize,
+        dag: StageDag,
+    ) -> StageCollector {
+        let collector = self.begin_stage(name, kind, nodes);
+        collector.inner.lock().dag = Some(dag);
+        collector
+    }
+
+    /// Allocates the next job id (one per action submitted to the
+    /// scheduler).
+    pub(crate) fn begin_job(&self) -> usize {
+        self.next_job
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Records a stage the scheduler skipped as already materialized,
+    /// allocating (and returning) a stage id for it so children can cite
+    /// it as a DAG parent.
+    pub(crate) fn record_skipped_stage(&self, name: &str, job: usize, shuffle_id: usize) -> usize {
+        let stage_id = self
+            .next_stage
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let scope = self.scope();
+        self.events.lock().push(Event::SkippedStage {
+            scope,
+            stage_id,
+            job,
+            name: name.to_string(),
+            shuffle_id,
+        });
+        stage_id
     }
 
     /// Appends a finished stage to the log.
@@ -978,6 +1159,64 @@ mod tests {
         let report = m.render_report();
         assert!(report.contains("skipped-shuffle cogroup-right"));
         assert!(report.contains("(2 skipped)"));
+    }
+
+    #[test]
+    fn stage_dag_recorded_and_rendered() {
+        let reg = MetricsRegistry::new();
+        let job = reg.begin_job();
+        let skipped = reg.record_skipped_stage("shuffle-map(partition_by)", job, 7);
+        let a = reg.begin_stage_in_dag(
+            "shuffle-map(join-left)",
+            StageKind::ShuffleMap,
+            2,
+            StageDag {
+                job,
+                wave: 0,
+                parents: vec![skipped],
+                shuffle_id: Some(8),
+            },
+        );
+        let a_id = a.stage_id();
+        a.record_task(0, 0.1, 10);
+        reg.finish_stage(a);
+        let b = reg.begin_stage_in_dag(
+            "collect(map)",
+            StageKind::Result,
+            2,
+            StageDag {
+                job,
+                wave: 1,
+                parents: vec![a_id],
+                shuffle_id: None,
+            },
+        );
+        b.record_task(0, 0.1, 10);
+        reg.finish_stage(b);
+
+        let m = reg.snapshot();
+        assert_eq!(m.skipped_stage_count(), 1);
+        assert_eq!(m.dag_jobs(), vec![job]);
+        assert_eq!(m.stages_in_job(job).count(), 2);
+        let result = m.stages_in_job(job).last().unwrap();
+        assert_eq!(result.dag.as_ref().unwrap().parents, vec![a_id]);
+        let report = m.render_report();
+        assert!(report.contains(&format!("STAGES job {job} | 2 waves")));
+        assert!(report.contains("critical-path"));
+        assert!(report.contains("cached"));
+    }
+
+    #[test]
+    fn skipped_stages_consume_stage_ids() {
+        let reg = MetricsRegistry::new();
+        let skipped = reg.record_skipped_stage("shuffle-map(x)", 0, 1);
+        let next = reg.begin_stage("s", StageKind::Result, 1);
+        assert_eq!(next.stage_id(), skipped + 1);
+        reg.finish_stage(next);
+        // Skipped stages are not executed stages: counters ignore them.
+        let m = reg.snapshot();
+        assert_eq!(m.shuffle_count(), 0);
+        assert_eq!(m.stages().count(), 1);
     }
 
     #[test]

@@ -79,10 +79,19 @@ pub enum Dependency {
 pub trait ShuffleDependency: Send + Sync {
     /// Cluster-unique shuffle id.
     fn shuffle_id(&self) -> usize;
+    /// Stage name this shuffle's map stage runs under (used for the
+    /// stage-DAG metrics even when the stage is skipped as materialized).
+    fn stage_name(&self) -> String;
     /// Whether every map output is already stored.
     fn materialized(&self, cluster: &Cluster) -> bool;
-    /// Runs the map stage (idempotent).
-    fn materialize(&self, cluster: &Cluster);
+    /// Builds the executable plan for this shuffle's map stage: the
+    /// missing map partitions plus type-erased compute/commit halves that
+    /// the [`crate::scheduler`] runs through the fallible executor.
+    /// Returns `None` when every map output is already stored (the stage
+    /// is skipped). Registration with the shuffle service is idempotent,
+    /// and commits are first-writer-wins, so concurrent plans for the
+    /// same shuffle are safe.
+    fn map_stage<'a>(&'a self, cluster: &'a Cluster) -> Option<crate::scheduler::StagePlan<'a>>;
     /// Lineage node feeding the shuffle.
     fn parent_info(&self) -> Arc<dyn NodeInfo>;
 }
@@ -187,6 +196,16 @@ impl<T: Data> Rdd<T> {
         let info: Arc<dyn NodeInfo> = self.node.clone();
         render_lineage(&info, 0, &mut out);
         out
+    }
+
+    /// Builds — without executing anything — the stage DAG the scheduler
+    /// would run for an action on this dataset: one
+    /// [`crate::scheduler::Stage`] per pending shuffle, with parent edges
+    /// and wave assignments, lineage pruned below cached datasets and
+    /// already-materialized shuffles.
+    pub fn job_plan(&self) -> crate::scheduler::Job {
+        let info: Arc<dyn NodeInfo> = self.node.clone();
+        crate::scheduler::Job::plan(&self.cluster, &info)
     }
 
     // ---- narrow transformations -------------------------------------
@@ -450,37 +469,6 @@ impl<T: Data + EstimateSize> Rdd<T> {
             )),
         )
         .with_partitioner(self.partitioner.clone())
-    }
-
-    /// Marks the dataset for in-memory caching in raw object form (the
-    /// level the paper selects, §4.1).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `persist(StorageLevel::MemoryRaw)` instead"
-    )]
-    pub fn cache(&self) -> Rdd<T> {
-        self.persist(StorageLevel::MemoryRaw)
-    }
-
-    /// Caches in "serialized" form (Spark `MEMORY_ONLY_SER`).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `persist(StorageLevel::MemorySerialized)` instead"
-    )]
-    pub fn cache_serialized(&self) -> Rdd<T> {
-        self.persist(StorageLevel::MemorySerialized)
-    }
-
-    /// Evaluates the dataset eagerly and caches it, returning the cached
-    /// handle.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `persist(StorageLevel::MemoryRaw)` and trigger it with an action (e.g. `count()`)"
-    )]
-    pub fn persist_now(&self) -> Rdd<T> {
-        let cached = self.persist(StorageLevel::MemoryRaw);
-        let _ = cached.count();
-        cached
     }
 }
 

@@ -128,6 +128,51 @@ where
         }
     }
 
+    /// Buckets one map partition's records by reduce partition, combining
+    /// map-side when configured. Runs inside a (retryable) executor task.
+    fn bucket(&self, data: Vec<(K, V)>) -> (Vec<Vec<(K, C)>>, Vec<u64>) {
+        let num_reduce = self.partitioner.partition_count();
+        let buckets: Vec<Vec<(K, C)>> = if self.map_side_combine {
+            // `Option<C>` slots let the entry API merge in place: each
+            // record hashes exactly once instead of the remove-then-insert
+            // double lookup.
+            let mut maps: Vec<FxHashMap<K, Option<C>>> =
+                (0..num_reduce).map(|_| FxHashMap::default()).collect();
+            for (k, v) in data {
+                let b = self.partitioner.partition_of(&k);
+                match maps[b].entry(k) {
+                    Entry::Occupied(mut slot) => {
+                        let prev = slot.get_mut().take().expect("combiner present");
+                        *slot.get_mut() = Some((self.aggregator.merge_value)(prev, v));
+                    }
+                    Entry::Vacant(slot) => {
+                        slot.insert(Some((self.aggregator.create)(v)));
+                    }
+                }
+            }
+            maps.into_iter()
+                .map(|m| {
+                    m.into_iter()
+                        .map(|(k, c)| (k, c.expect("combiner present")))
+                        .collect()
+                })
+                .collect()
+        } else {
+            let mut buckets: Vec<Vec<(K, C)>> = (0..num_reduce).map(|_| Vec::new()).collect();
+            for (k, v) in data {
+                let b = self.partitioner.partition_of(&k);
+                let c = (self.aggregator.create)(v);
+                buckets[b].push((k, c));
+            }
+            buckets
+        };
+        let bucket_bytes: Vec<u64> = buckets
+            .iter()
+            .map(|b| b.iter().map(|r| r.estimate_size() as u64).sum())
+            .collect();
+        (buckets, bucket_bytes)
+    }
+
     /// Fetches one reduce partition's records, attributing bytes to
     /// remote/local reads based on simulated node placement.
     fn read(&self, reduce_partition: usize, ctx: &TaskContext<'_>) -> Vec<(K, C)> {
@@ -167,75 +212,46 @@ where
         self.shuffle_id
     }
 
+    fn stage_name(&self) -> String {
+        format!("shuffle-map({})", self.name)
+    }
+
     fn materialized(&self, cluster: &Cluster) -> bool {
         cluster.shuffle_service().is_complete(self.shuffle_id)
     }
 
-    fn materialize(&self, cluster: &Cluster) {
+    fn map_stage<'a>(&'a self, cluster: &'a Cluster) -> Option<crate::scheduler::StagePlan<'a>> {
         if self.materialized(cluster) {
-            return;
+            return None;
         }
-        let num_reduce = self.partitioner.partition_count();
         cluster.shuffle_service().register(
             self.shuffle_id,
             self.parent.num_partitions(),
-            num_reduce,
+            self.partitioner.partition_count(),
         );
         // Recovery path: compute only the map outputs that are missing
         // (all of them on first materialization).
         let missing = cluster
             .shuffle_service()
             .missing_map_outputs(self.shuffle_id);
-        let stage_name = format!("shuffle-map({})", self.name);
+        if missing.is_empty() {
+            return None;
+        }
         // Bucketing runs inside the (retryable) task; registration of the
         // map output happens on the driver, only for the winning attempt.
-        cluster.run_shuffle_map_stage(
-            &self.parent,
-            &stage_name,
-            missing,
-            |_map_partition, data| {
-                let buckets: Vec<Vec<(K, C)>> = if self.map_side_combine {
-                    // `Option<C>` slots let the entry API merge in place:
-                    // each record hashes exactly once instead of the
-                    // remove-then-insert double lookup.
-                    let mut maps: Vec<FxHashMap<K, Option<C>>> =
-                        (0..num_reduce).map(|_| FxHashMap::default()).collect();
-                    for (k, v) in data {
-                        let b = self.partitioner.partition_of(&k);
-                        match maps[b].entry(k) {
-                            Entry::Occupied(mut slot) => {
-                                let prev = slot.get_mut().take().expect("combiner present");
-                                *slot.get_mut() = Some((self.aggregator.merge_value)(prev, v));
-                            }
-                            Entry::Vacant(slot) => {
-                                slot.insert(Some((self.aggregator.create)(v)));
-                            }
-                        }
-                    }
-                    maps.into_iter()
-                        .map(|m| {
-                            m.into_iter()
-                                .map(|(k, c)| (k, c.expect("combiner present")))
-                                .collect()
-                        })
-                        .collect()
-                } else {
-                    let mut buckets: Vec<Vec<(K, C)>> =
-                        (0..num_reduce).map(|_| Vec::new()).collect();
-                    for (k, v) in data {
-                        let b = self.partitioner.partition_of(&k);
-                        let c = (self.aggregator.create)(v);
-                        buckets[b].push((k, c));
-                    }
-                    buckets
-                };
-                let bucket_bytes: Vec<u64> = buckets
-                    .iter()
-                    .map(|b| b.iter().map(|r| r.estimate_size() as u64).sum())
-                    .collect();
-                (buckets, bucket_bytes)
-            },
-            |map_partition, (buckets, bucket_bytes), stage| {
+        Some(crate::scheduler::StagePlan {
+            name: self.stage_name(),
+            partitions: missing,
+            compute: Box::new(move |map_partition, ctx| {
+                let data = self.parent.compute(map_partition, ctx);
+                let records = data.len() as u64;
+                let out = self.bucket(data);
+                (Box::new(out) as crate::scheduler::StageOutput, records)
+            }),
+            commit: Box::new(move |map_partition, out, stage| {
+                let (buckets, bucket_bytes) = *out
+                    .downcast::<(Vec<Vec<(K, C)>>, Vec<u64>)>()
+                    .expect("shuffle map output downcast");
                 let records: u64 = buckets.iter().map(|b| b.len() as u64).sum();
                 let bytes: u64 = bucket_bytes.iter().sum();
                 stage.add_shuffle_write(records, bytes);
@@ -245,8 +261,8 @@ where
                     buckets,
                     bucket_bytes,
                 );
-            },
-        );
+            }),
+        })
     }
 
     fn parent_info(&self) -> Arc<dyn NodeInfo> {

@@ -1,0 +1,396 @@
+//! The DAG scheduler: cuts an action's lineage into a first-class stage
+//! graph and executes independent stages concurrently, wave by wave.
+//!
+//! Spark's defining scheduling feature is its `DAGScheduler`: every action
+//! submits a [`Job`], the job's lineage is cut at shuffle boundaries into
+//! [`Stage`]s (shuffle-map stages feeding a final result stage), and
+//! stages whose parents are all satisfied run *at the same time*. For
+//! CSTF this is what lets the independent factor-side joins of one MTTKRP
+//! overlap on a real cluster. This module reproduces that design:
+//!
+//! 1. **Graph construction** ([`Job::plan`]) walks the lineage once per
+//!    action — a pure pass that executes nothing. Each pending
+//!    [`ShuffleDependency`] becomes a stage; lineage is pruned below
+//!    fully-cached datasets (their nodes report no dependencies) and
+//!    below already-materialized shuffles, which are recorded as
+//!    *skipped* stages (Spark UI's grey "skipped" boxes).
+//! 2. **Wave assignment**: `wave(S) = 1 + max(wave(parent))` over
+//!    non-skipped parents, i.e. the longest pending path below `S`.
+//!    Stages sharing a wave have no dependency path between them.
+//! 3. **Wave execution** submits every stage of a wave as one task batch
+//!    set to [`Executor::run_wave`](crate::executor::Executor::run_wave):
+//!    tasks of independent stages interleave freely in the worker pool
+//!    while retries, speculation and first-writer-wins commits work
+//!    exactly as for a single stage. Map outputs are committed on the
+//!    driver in deterministic stage order after the wave completes.
+//!
+//! **Determinism.** Concurrency changes *when* stages run, never *what*
+//! they produce: task closures are pure functions of their partition, the
+//! shuffle service's `put_map_output` is first-writer-wins, and metric
+//! commits happen driver-side in stage-index order. Forcing one stage per
+//! wave ([`crate::ClusterConfig::sequential_stages`]) therefore yields
+//! bit-identical results and identical counters — the chaos suites assert
+//! exactly that.
+
+use crate::context::{run_attempt, Cluster, TaskContext};
+use crate::hash::FxHashMap;
+use crate::metrics::{StageCollector, StageDag, StageKind};
+use crate::rdd::{Dependency, NodeInfo, ShuffleDependency};
+use std::any::Any;
+use std::sync::Arc;
+
+/// Type-erased shuffle map output, produced by a [`StagePlan`]'s compute
+/// half inside a task and consumed by its commit half on the driver.
+pub type StageOutput = Box<dyn Any + Send>;
+
+/// Executable plan for one shuffle-map stage, built by
+/// [`ShuffleDependency::map_stage`].
+///
+/// The two halves mirror the task/driver split of the engine's commit
+/// protocol: `compute` runs inside a (retryable, speculatable) executor
+/// task and returns the map output plus the record count; `commit`
+/// publishes the winning attempt's output to the shuffle service from the
+/// driver, exactly once per partition.
+pub struct StagePlan<'a> {
+    /// Stage name, e.g. `shuffle-map(reduce_by_key)`.
+    pub name: String,
+    /// Map partitions still missing — all of them on first execution,
+    /// only the lost ones when recovering from a node failure.
+    pub partitions: Vec<usize>,
+    /// Task half: computes one map partition's shuffle output.
+    /// Returns the type-erased output and the input record count.
+    #[allow(clippy::type_complexity)]
+    pub compute: Box<dyn Fn(usize, &TaskContext<'_>) -> (StageOutput, u64) + Send + Sync + 'a>,
+    /// Driver half: publishes one committed map output and records its
+    /// shuffle-write metrics.
+    #[allow(clippy::type_complexity)]
+    pub commit: Box<dyn Fn(usize, StageOutput, &StageCollector) + 'a>,
+}
+
+/// One node of a job's stage DAG: a shuffle-map stage, or the record that
+/// it was skipped because its shuffle is already materialized.
+pub struct Stage {
+    /// Position in [`Job::stages`] — a topological order (every parent
+    /// has a lower index).
+    pub index: usize,
+    /// Stage name, e.g. `shuffle-map(join-left)`.
+    pub name: String,
+    /// The shuffle this stage produces.
+    pub shuffle_id: usize,
+    /// Indices (into [`Job::stages`]) of the stages whose shuffles this
+    /// stage reads. Empty for skipped stages: lineage is pruned below a
+    /// materialized shuffle.
+    pub parents: Vec<usize>,
+    /// Scheduling wave: the longest pending-stage path below this stage.
+    /// All stages of a wave are submitted to the executor concurrently.
+    /// Skipped stages keep wave 0 and gate nothing.
+    pub wave: usize,
+    /// Whether the stage is skipped as already materialized.
+    pub skipped: bool,
+    dep: Arc<dyn ShuffleDependency>,
+}
+
+/// The stage DAG for one action, built once from lineage by [`Job::plan`].
+pub struct Job {
+    /// Stages in topological (post-)order.
+    pub stages: Vec<Stage>,
+    /// Stage indices the final result stage reads from directly.
+    pub result_parents: Vec<usize>,
+    /// Number of execution waves; the result stage runs as wave
+    /// `num_waves`.
+    pub num_waves: usize,
+}
+
+impl Job {
+    /// Builds the stage DAG for an action on `root` without executing
+    /// anything: a pure graph-construction pass over the lineage.
+    pub fn plan(cluster: &Cluster, root: &Arc<dyn NodeInfo>) -> Job {
+        let mut builder = Builder {
+            cluster,
+            stages: Vec::new(),
+            stage_of_shuffle: FxHashMap::default(),
+            memo: FxHashMap::default(),
+        };
+        let result_parents = builder.shuffle_parents(root);
+        let mut stages = builder.stages;
+        // Single forward pass works because parents always precede
+        // children in the post-order.
+        for i in 0..stages.len() {
+            if stages[i].skipped {
+                continue;
+            }
+            stages[i].wave = stages[i]
+                .parents
+                .iter()
+                .filter(|&&p| !stages[p].skipped)
+                .map(|&p| stages[p].wave + 1)
+                .max()
+                .unwrap_or(0);
+        }
+        let num_waves = stages
+            .iter()
+            .filter(|s| !s.skipped)
+            .map(|s| s.wave + 1)
+            .max()
+            .unwrap_or(0);
+        Job {
+            stages,
+            result_parents,
+            num_waves,
+        }
+    }
+
+    /// Stages scheduled in `wave` (skipped stages excluded).
+    pub fn stages_in_wave(&self, wave: usize) -> impl Iterator<Item = &Stage> {
+        self.stages
+            .iter()
+            .filter(move |s| !s.skipped && s.wave == wave)
+    }
+
+    /// Renders the DAG one stage per line, for debugging and tests.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for s in &self.stages {
+            if s.skipped {
+                let _ = writeln!(out, "  [cached] #{} {}", s.index, s.name);
+            } else {
+                let _ = writeln!(
+                    out,
+                    "  wave {} #{} {} <- {:?}",
+                    s.wave, s.index, s.name, s.parents
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  wave {} result <- {:?}",
+            self.num_waves, self.result_parents
+        );
+        out
+    }
+}
+
+/// Lineage walk state for [`Job::plan`].
+struct Builder<'c> {
+    cluster: &'c Cluster,
+    stages: Vec<Stage>,
+    /// Shuffle id → stage index (each shuffle becomes one stage).
+    stage_of_shuffle: FxHashMap<usize, usize>,
+    /// Node id → stage indices reachable through narrow edges. Memoized
+    /// per *node* (not a visited set): a shared narrow subtree must
+    /// contribute its upstream stages to every stage that reaches it.
+    memo: FxHashMap<usize, Vec<usize>>,
+}
+
+impl Builder<'_> {
+    /// The stages whose shuffles `node` reads through narrow edges —
+    /// i.e. the stage parents of whatever stage `node`'s subtree runs in.
+    fn shuffle_parents(&mut self, node: &Arc<dyn NodeInfo>) -> Vec<usize> {
+        if let Some(cached) = self.memo.get(&node.id()) {
+            return cached.clone();
+        }
+        let mut out: Vec<usize> = Vec::new();
+        for dep in node.deps() {
+            match dep {
+                Dependency::Narrow(parent) => {
+                    for idx in self.shuffle_parents(&parent) {
+                        if !out.contains(&idx) {
+                            out.push(idx);
+                        }
+                    }
+                }
+                Dependency::Shuffle(shuffle) => {
+                    let idx = self.stage_for(shuffle);
+                    if !out.contains(&idx) {
+                        out.push(idx);
+                    }
+                }
+            }
+        }
+        self.memo.insert(node.id(), out.clone());
+        out
+    }
+
+    /// The stage producing `dep`'s shuffle, created on first sight.
+    /// Recursing into the map side *before* allocating the index yields a
+    /// post-order: parents always get lower indices.
+    fn stage_for(&mut self, dep: Arc<dyn ShuffleDependency>) -> usize {
+        if let Some(&idx) = self.stage_of_shuffle.get(&dep.shuffle_id()) {
+            return idx;
+        }
+        let skipped = dep.materialized(self.cluster);
+        let parents = if skipped {
+            Vec::new() // prune lineage below a materialized shuffle
+        } else {
+            self.shuffle_parents(&dep.parent_info())
+        };
+        let index = self.stages.len();
+        self.stage_of_shuffle.insert(dep.shuffle_id(), index);
+        self.stages.push(Stage {
+            index,
+            name: dep.stage_name(),
+            shuffle_id: dep.shuffle_id(),
+            parents,
+            wave: 0,
+            skipped,
+            dep,
+        });
+        index
+    }
+}
+
+/// Metric bookkeeping of one executed job: which metrics-log stage id
+/// each planned stage got (skipped stages get ids too, so children can
+/// reference them as DAG parents).
+pub(crate) struct JobRun {
+    pub(crate) job_id: usize,
+    metric_ids: Vec<Option<usize>>,
+}
+
+impl JobRun {
+    /// Maps planned stage indices to their metrics-log stage ids.
+    pub(crate) fn metric_ids(&self, stage_indices: &[usize]) -> Vec<usize> {
+        stage_indices
+            .iter()
+            .filter_map(|&i| self.metric_ids[i])
+            .collect()
+    }
+}
+
+/// Executes every pending shuffle-map stage of `job`, wave by wave —
+/// all stages of a wave concurrently, unless the cluster is configured
+/// with [`crate::ClusterConfig::sequential_stages`], in which case each
+/// stage runs alone (in the same topological order the pre-DAG engine
+/// used). The caller then runs the result stage.
+pub(crate) fn run_shuffle_stages(cluster: &Cluster, job: &Job) -> JobRun {
+    let job_id = cluster.metrics().begin_job();
+    let mut run = JobRun {
+        job_id,
+        metric_ids: vec![None; job.stages.len()],
+    };
+    // Stages pruned as already materialized are logged up front, in stage
+    // order, so the report shows them and children can cite them.
+    for stage in job.stages.iter().filter(|s| s.skipped) {
+        run.metric_ids[stage.index] = Some(cluster.metrics().record_skipped_stage(
+            &stage.name,
+            job_id,
+            stage.shuffle_id,
+        ));
+    }
+    if cluster.config().sequential_stages {
+        for stage in job.stages.iter().filter(|s| !s.skipped) {
+            run_wave_of_stages(cluster, &mut run, &[stage]);
+        }
+    } else {
+        for wave in 0..job.num_waves {
+            let runnable: Vec<&Stage> = job.stages_in_wave(wave).collect();
+            run_wave_of_stages(cluster, &mut run, &runnable);
+        }
+    }
+    run
+}
+
+/// Runs one wave: plans each stage, submits all task batches to the
+/// executor together, then commits outputs and metrics in stage order.
+fn run_wave_of_stages(cluster: &Cluster, run: &mut JobRun, stages: &[&Stage]) {
+    struct Exec<'a> {
+        plan: StagePlan<'a>,
+        collector: StageCollector,
+        stage_id: usize,
+    }
+    let nodes = cluster.config().nodes;
+    let mut execs: Vec<Exec<'_>> = Vec::new();
+    for stage in stages {
+        match stage.dep.map_stage(cluster) {
+            Some(plan) => {
+                let dag = StageDag {
+                    job: run.job_id,
+                    wave: stage.wave,
+                    parents: run.metric_ids(&stage.parents),
+                    shuffle_id: Some(stage.shuffle_id),
+                };
+                let collector = cluster.metrics().begin_stage_in_dag(
+                    &plan.name,
+                    StageKind::ShuffleMap,
+                    nodes,
+                    dag,
+                );
+                let stage_id = collector.stage_id();
+                run.metric_ids[stage.index] = Some(stage_id);
+                execs.push(Exec {
+                    plan,
+                    collector,
+                    stage_id,
+                });
+            }
+            None => {
+                // The shuffle became fully materialized between planning
+                // and execution (a concurrent job won the race) — same
+                // benign recheck the pre-DAG `materialize` performed.
+                run.metric_ids[stage.index] = Some(cluster.metrics().record_skipped_stage(
+                    &stage.name,
+                    run.job_id,
+                    stage.shuffle_id,
+                ));
+            }
+        }
+    }
+    if execs.is_empty() {
+        return;
+    }
+    let injector = cluster.fault_injector();
+    // One closure site for every task of every stage: the batches share a
+    // single concrete closure type, so no per-task boxing is needed.
+    let batches: Vec<Vec<_>> = execs
+        .iter()
+        .map(|e| {
+            e.plan
+                .partitions
+                .iter()
+                .map(|&p| {
+                    // Capture only `compute`: the driver-side `commit` box
+                    // is deliberately not `Sync` and never crosses threads.
+                    let compute = &e.plan.compute;
+                    let stage_id = e.stage_id;
+                    let injector = injector.as_ref();
+                    move |attempt: usize| {
+                        run_attempt(cluster, injector, stage_id, p, attempt, |ctx| {
+                            compute(p, ctx)
+                        })
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let outcomes = cluster
+        .executor()
+        .run_wave(batches, &cluster.run_policy())
+        .unwrap_or_else(|e| {
+            // Map the wave's flat task index back to the failing stage.
+            let mut offset = 0;
+            let mut name = "unknown";
+            for exec in &execs {
+                if e.task < offset + exec.plan.partitions.len() {
+                    name = &exec.plan.name;
+                    break;
+                }
+                offset += exec.plan.partitions.len();
+            }
+            panic!("stage '{name}' aborted: {e}")
+        });
+    debug_assert_eq!(execs.len(), outcomes.len());
+    for (exec, outcome) in execs.into_iter().zip(outcomes) {
+        for (&p, task_run) in exec.plan.partitions.iter().zip(outcome.results) {
+            exec.collector.record_task(
+                cluster.config().node_of(p),
+                task_run.cpu_secs,
+                task_run.records,
+            );
+            exec.collector.absorb(task_run.sink);
+            (exec.plan.commit)(p, task_run.value, &exec.collector);
+        }
+        exec.collector.record_run_stats(&outcome.stats);
+        cluster.metrics().finish_stage(exec.collector);
+    }
+}

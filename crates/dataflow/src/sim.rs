@@ -54,6 +54,18 @@
 //! network and disk terms scale by `s`; per-stage scheduling and job-launch
 //! overheads — which a real cluster pays once regardless of data volume —
 //! do not. Set it with [`TimeModel::with_work_scale`].
+//!
+//! # Critical-path aggregation
+//!
+//! Stages recorded by the [`crate::scheduler`] carry their job's DAG
+//! (parents and wave). [`TimeModel::job_time`] prices each such job as the
+//! **critical path** through its stage graph — independent stages of a
+//! wave overlap, so the job costs the longest parent-to-result chain, not
+//! the sum of all stages. Stages recorded outside the scheduler (synthetic
+//! test logs) and non-stage events (disk, broadcast, spills) keep serial
+//! pricing. [`TimeModel::job_time_serialized`] retains the pre-DAG plain
+//! sum as the comparison baseline; skipped (already-materialized) stages
+//! cost nothing under either model.
 
 use crate::metrics::{Event, JobMetrics, StageMetrics};
 use serde::Serialize;
@@ -253,29 +265,102 @@ impl TimeModel {
         self.work_scale * bytes as f64 / (self.spill_read_bw * nodes.max(1) as f64)
     }
 
+    /// Serial simulated seconds for one event (a stage priced on its own,
+    /// with no DAG overlap).
+    fn event_time_serial(&self, e: &Event, nodes: usize) -> f64 {
+        match e {
+            Event::Stage(s) => self.stage_time(s),
+            Event::DiskRead { bytes, .. } | Event::DiskWrite { bytes, .. } => {
+                self.disk_time(*bytes, nodes)
+            }
+            Event::JobBoundary { .. } => self.job_launch_secs,
+            Event::Broadcast { bytes, .. } => self.broadcast_time(*bytes, nodes),
+            // An elided shuffle costs nothing — that is the point.
+            Event::SkippedShuffle { .. } => 0.0,
+            // A skipped stage reuses materialized map outputs: no tasks
+            // ran, so it costs nothing.
+            Event::SkippedStage { .. } => 0.0,
+            Event::StorageSpillWrite { bytes, .. } => self.spill_write_time(*bytes, nodes),
+            Event::StorageSpillRead { bytes, .. } => self.spill_read_time(*bytes, nodes),
+            // Eviction itself is free (a map removal); its cost shows
+            // up as the recompute CPU of the re-reading stage, which
+            // the stage's own task metrics already capture.
+            Event::StorageEvicted { .. } | Event::StorageRecompute { .. } => 0.0,
+        }
+    }
+
     /// Simulated seconds for an entire recorded job log.
+    ///
+    /// Jobs recorded by the [`crate::scheduler`] (stages carrying a
+    /// [`crate::metrics::StageDag`]) are priced as the critical path
+    /// through their stage graph — see [`TimeModel::job_critical_path`];
+    /// everything else (DAG-less stages, disk, broadcast, spill events) is
+    /// summed serially as before.
     pub fn job_time(&self, metrics: &JobMetrics) -> f64 {
         let nodes = infer_nodes(metrics);
+        let mut seen_jobs: Vec<usize> = Vec::new();
         metrics
             .events
             .iter()
             .map(|e| match e {
-                Event::Stage(s) => self.stage_time(s),
-                Event::DiskRead { bytes, .. } | Event::DiskWrite { bytes, .. } => {
-                    self.disk_time(*bytes, nodes)
+                Event::Stage(s) if s.dag.is_some() => {
+                    let job = s.dag.as_ref().expect("checked above").job;
+                    if seen_jobs.contains(&job) {
+                        0.0
+                    } else {
+                        seen_jobs.push(job);
+                        self.job_critical_path(metrics, job)
+                    }
                 }
-                Event::JobBoundary { .. } => self.job_launch_secs,
-                Event::Broadcast { bytes, .. } => self.broadcast_time(*bytes, nodes),
-                // An elided shuffle costs nothing — that is the point.
-                Event::SkippedShuffle { .. } => 0.0,
-                Event::StorageSpillWrite { bytes, .. } => self.spill_write_time(*bytes, nodes),
-                Event::StorageSpillRead { bytes, .. } => self.spill_read_time(*bytes, nodes),
-                // Eviction itself is free (a map removal); its cost shows
-                // up as the recompute CPU of the re-reading stage, which
-                // the stage's own task metrics already capture.
-                Event::StorageEvicted { .. } | Event::StorageRecompute { .. } => 0.0,
+                other => self.event_time_serial(other, nodes),
             })
             .sum()
+    }
+
+    /// Pre-DAG aggregation: the plain serial sum of every event, pricing
+    /// each stage as if it ran alone. Kept as the comparison baseline for
+    /// the scheduler ablation (`ablation_scheduler`); equals
+    /// [`TimeModel::job_time`] exactly when every job's stage graph is a
+    /// chain.
+    pub fn job_time_serialized(&self, metrics: &JobMetrics) -> f64 {
+        let nodes = infer_nodes(metrics);
+        metrics
+            .events
+            .iter()
+            .map(|e| self.event_time_serial(e, nodes))
+            .sum()
+    }
+
+    /// Critical-path simulated seconds for one scheduler job: the longest
+    /// chain of stage times through the job's DAG,
+    /// `finish(s) = stage_time(s) + max(finish(parent))`. Parents outside
+    /// the log (skipped stages, whose map outputs were already
+    /// materialized) contribute zero. The log records stages in
+    /// wave-completion order, so every parent finishes before its child is
+    /// visited.
+    pub fn job_critical_path(&self, metrics: &JobMetrics, job: usize) -> f64 {
+        let mut finish: crate::hash::FxHashMap<usize, f64> = Default::default();
+        let mut longest = 0.0f64;
+        for s in metrics.stages_in_job(job) {
+            let dag = s.dag.as_ref().expect("stages_in_job yields DAG stages");
+            let start = dag
+                .parents
+                .iter()
+                .filter_map(|p| finish.get(p))
+                .fold(0.0f64, |a, &b| a.max(b));
+            let end = start + self.stage_time(s);
+            finish.insert(s.stage_id, end);
+            longest = longest.max(end);
+        }
+        longest
+    }
+
+    /// Serial-sum simulated seconds for one scheduler job — what the job
+    /// would cost if its stages ran strictly one after another. The
+    /// denominator of the critical-path / serialized ratio reported by
+    /// [`crate::metrics::JobMetrics::render_report`].
+    pub fn job_serialized(&self, metrics: &JobMetrics, job: usize) -> f64 {
+        metrics.stages_in_job(job).map(|s| self.stage_time(s)).sum()
     }
 
     /// Simulated seconds per scope label, in first-seen order — drives the
@@ -299,6 +384,7 @@ impl TimeModel {
                 Event::JobBoundary { scope } => add(scope, self.job_launch_secs),
                 Event::Broadcast { scope, bytes } => add(scope, self.broadcast_time(*bytes, nodes)),
                 Event::SkippedShuffle { scope, .. } => add(scope, 0.0),
+                Event::SkippedStage { scope, .. } => add(scope, 0.0),
                 Event::StorageSpillWrite { scope, bytes, .. } => {
                     add(scope, self.spill_write_time(*bytes, nodes))
                 }
@@ -463,6 +549,92 @@ mod tests {
         assert!(st[1].1 > st[0].1);
         let total: f64 = st.iter().map(|(_, t)| t).sum();
         assert!((total - tm.job_time(&reg.snapshot())).abs() < 1e-9);
+    }
+
+    /// Records a synthetic DAG stage: `cpu` measured seconds on node 0,
+    /// wired into `job` at `wave` with the given metric-id parents.
+    /// Returns the stage's metric id.
+    fn synth_dag_stage(
+        reg: &MetricsRegistry,
+        job: usize,
+        wave: usize,
+        parents: Vec<usize>,
+        cpu: f64,
+    ) -> usize {
+        let dag = crate::metrics::StageDag {
+            job,
+            wave,
+            parents,
+            shuffle_id: None,
+        };
+        let c = reg.begin_stage_in_dag("s", StageKind::ShuffleMap, 2, dag);
+        let id = c.stage_id();
+        c.record_task(0, cpu, 1);
+        reg.finish_stage(c);
+        id
+    }
+
+    #[test]
+    fn critical_path_overlaps_independent_stages() {
+        // Diamond: A and B in wave 0, C depends on both. Critical path is
+        // max(A, B) + C; the serialized baseline is A + B + C.
+        let reg = MetricsRegistry::new();
+        let job = reg.begin_job();
+        let a = synth_dag_stage(&reg, job, 0, vec![], 2.0);
+        let b = synth_dag_stage(&reg, job, 0, vec![], 5.0);
+        synth_dag_stage(&reg, job, 1, vec![a, b], 1.0);
+        let m = reg.snapshot();
+        let tm = TimeModel::spark().with_measured_cpu();
+        let per_stage = |cpu: f64| {
+            cpu / tm.core_speed + tm.stage_latency_secs + tm.per_node_overhead_secs * 2.0
+        };
+        let critical = tm.job_critical_path(&m, job);
+        let serialized = tm.job_serialized(&m, job);
+        assert!((critical - (per_stage(5.0) + per_stage(1.0))).abs() < 1e-9);
+        assert!((serialized - (per_stage(2.0) + per_stage(5.0) + per_stage(1.0))).abs() < 1e-9);
+        assert!(critical < serialized);
+        // job_time prices the whole DAG job once, as its critical path.
+        assert!((tm.job_time(&m) - critical).abs() < 1e-9);
+        assert!((tm.job_time_serialized(&m) - serialized).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_path_equals_serialized_for_chains() {
+        let reg = MetricsRegistry::new();
+        let job = reg.begin_job();
+        let a = synth_dag_stage(&reg, job, 0, vec![], 2.0);
+        let b = synth_dag_stage(&reg, job, 1, vec![a], 3.0);
+        synth_dag_stage(&reg, job, 2, vec![b], 1.0);
+        let m = reg.snapshot();
+        let tm = TimeModel::spark();
+        assert!((tm.job_critical_path(&m, job) - tm.job_serialized(&m, job)).abs() < 1e-12);
+        assert!((tm.job_time(&m) - tm.job_time_serialized(&m)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skipped_stages_and_absent_parents_cost_nothing() {
+        let reg = MetricsRegistry::new();
+        let job = reg.begin_job();
+        // A materialized parent: skipped, so only a SkippedStage event.
+        let skipped = reg.record_skipped_stage("shuffle-map(cached)", job, 7);
+        synth_dag_stage(&reg, job, 0, vec![skipped], 2.0);
+        let m = reg.snapshot();
+        assert_eq!(m.skipped_stage_count(), 1);
+        let tm = TimeModel::spark();
+        // The skipped parent contributes zero start time.
+        assert!((tm.job_critical_path(&m, job) - tm.job_serialized(&m, job)).abs() < 1e-12);
+        assert!((tm.job_time(&m) - tm.job_time_serialized(&m)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dag_less_logs_price_identically_under_both_models() {
+        let reg = MetricsRegistry::new();
+        synth_stage(&reg, 4, 1.0, 1_000_000);
+        synth_stage(&reg, 4, 2.0, 0);
+        reg.record_disk_write(500_000_000);
+        let m = reg.snapshot();
+        let tm = TimeModel::spark();
+        assert!((tm.job_time(&m) - tm.job_time_serialized(&m)).abs() < 1e-12);
     }
 
     #[test]

@@ -265,19 +265,22 @@ fn cache_prevents_recomputation() {
     assert_eq!(computed.load(Ordering::Relaxed), 200);
 }
 
-/// The deprecated wrappers remain thin aliases of `persist` for one
-/// release; this is the one test that keeps them compiling and correct.
+/// `persist(StorageLevel)` is the one persistence entry point (the old
+/// `cache`/`cache_serialized`/`persist_now` aliases are gone): lazy at
+/// every level, materialized by the first action, at the requested level.
 #[test]
-#[allow(deprecated)]
-fn deprecated_persistence_wrappers_still_work() {
+fn persist_levels_cover_former_wrappers() {
     let c = cluster();
-    let eager = c.parallelize((0u32..10).collect(), 2).persist_now();
-    assert!(eager.is_fully_cached());
+    let raw = c
+        .parallelize((0u32..10).collect(), 2)
+        .persist(StorageLevel::MemoryRaw);
+    assert!(!raw.is_fully_cached(), "persist is lazy");
+    assert_eq!(raw.count(), 10);
+    assert!(raw.is_fully_cached());
     assert_eq!(c.block_manager().len(), 2);
-    let lazy = c.parallelize((0u32..10).collect(), 2).cache();
-    assert_eq!(lazy.count(), 10);
-    assert!(lazy.is_fully_cached());
-    let ser = c.parallelize((0u64..8).collect(), 2).cache_serialized();
+    let ser = c
+        .parallelize((0u64..8).collect(), 2)
+        .persist(StorageLevel::MemorySerialized);
     let _ = ser.count();
     assert_eq!(
         c.block_manager().level_of(ser.id(), 0),
