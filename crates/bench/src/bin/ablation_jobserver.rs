@@ -1,0 +1,376 @@
+//! Ablation: multi-tenant job server — fair pools vs FIFO under load.
+//!
+//! ```text
+//! cargo run --release -p cstf-bench --bin ablation_jobserver -- \
+//!     [--seed 0] [--interleavings 20] [--nodes 4] [--jobs 200] [--tiny]
+//! ```
+//!
+//! Three parts, mirroring the claims of DESIGN.md §5e:
+//!
+//! * **Determinism** — mixed CP-ALS jobs from distinct tenants run
+//!   concurrently through one shared `JobServer` and must stay
+//!   bit-identical to their solo forced-sequential baselines across
+//!   seeded interleavings, both quiet (delay jitter only) and under
+//!   chaos (crash + late-crash + delay schedules). The run aborts on
+//!   the first divergent bit.
+//! * **Burst** — a paused cap-1 server is loaded with long jobs ahead
+//!   of short ones, then released. Measured per-pool queue delays show
+//!   weighted-fair dispatch protecting the short pool where FIFO makes
+//!   it wait out the long backlog.
+//! * **Offered load** — solo runs price each job class via
+//!   [`TimeModel::job_critical_path`]; `TimeModel::offered_load` then
+//!   sweeps submission rates and reports p50/p99 sojourn latency and
+//!   throughput for FIFO vs fair. At high offered load fair pools must
+//!   improve short-job p99 latency without losing throughput.
+//!
+//! `--tiny` is the CI smoke configuration (fewer interleavings and
+//! sweep jobs). Results land in `results/BENCH_jobserver.json`.
+
+use cstf_bench::*;
+use cstf_core::{CpAls, Strategy};
+use cstf_dataflow::prelude::*;
+use cstf_dataflow::sim::{OfferedJob, OfferedLoadStats};
+use cstf_tensor::random::RandomTensor;
+use cstf_tensor::CooTensor;
+
+type Bits = (Vec<u64>, Vec<Vec<u64>>);
+
+/// Concurrent jobs per interleaving in the determinism part.
+const MIX: u64 = 4;
+
+fn small_tensor(seed: u64) -> CooTensor {
+    RandomTensor::new(vec![14, 12, 10])
+        .nnz(250)
+        .seed(seed)
+        .build()
+}
+
+fn big_tensor(seed: u64) -> CooTensor {
+    RandomTensor::new(vec![40, 34, 28])
+        .nnz(6000)
+        .seed(seed)
+        .build()
+}
+
+/// One job variant: tenants alternate strategy and differ in init seed,
+/// so concurrent jobs are genuinely distinct workloads.
+fn run_variant(c: &Cluster, t: &CooTensor, variant: u64) -> Bits {
+    run_job(c, t, 1, variant)
+}
+
+fn run_job(c: &Cluster, t: &CooTensor, iters: usize, variant: u64) -> Bits {
+    let strategy = if variant.is_multiple_of(2) {
+        Strategy::Coo
+    } else {
+        Strategy::Qcoo
+    };
+    let k = CpAls::new(PAPER_RANK)
+        .strategy(strategy)
+        .max_iterations(iters)
+        .skip_fit()
+        .seed(100 + variant)
+        .run(c, t)
+        .expect("CP-ALS run failed")
+        .kruskal;
+    (
+        k.weights.iter().map(|w| w.to_bits()).collect(),
+        k.factors
+            .iter()
+            .map(|f| f.data().iter().map(|x| x.to_bits()).collect())
+            .collect(),
+    )
+}
+
+/// Solo baselines on quiet forced-sequential clusters, one per variant.
+fn baselines(t: &CooTensor, nodes: usize) -> Vec<Bits> {
+    (0..MIX)
+        .map(|v| {
+            let c = Cluster::new(ClusterConfig::local(4).nodes(nodes).sequential_stages());
+            run_variant(&c, t, v)
+        })
+        .collect()
+}
+
+/// Runs `MIX` concurrent jobs through a fair server on `config` and
+/// asserts each matches its solo baseline bit-for-bit.
+fn assert_interleaving(config: ClusterConfig, t: &CooTensor, reference: &[Bits], what: &str) {
+    let c = Cluster::new(config);
+    let server = JobServer::new(&c, JobServerConfig::fair(MIX as usize));
+    let handles: Vec<_> = (0..MIX)
+        .map(|v| {
+            let t = t.clone();
+            server.submit(&format!("tenant-{v}"), move |c: &Cluster| {
+                run_variant(c, &t, v)
+            })
+        })
+        .collect();
+    for (v, h) in handles.into_iter().enumerate() {
+        let got = h.join().completed().expect("job completed");
+        assert_eq!(got, reference[v], "{what}: job {v} drifted from solo run");
+    }
+    server.shutdown();
+}
+
+/// Burst result: per-pool mean queue delay and the dispatch order.
+struct Burst {
+    short_mean_delay: f64,
+    long_mean_delay: f64,
+    order: Vec<String>,
+}
+
+/// Loads a paused cap-1 server with long jobs ahead of short ones,
+/// releases it, and measures per-pool queue delays from the JOBS log.
+fn run_burst(fair: bool, nodes: usize, seed: u64) -> Burst {
+    let c = Cluster::new(ClusterConfig::local(4).nodes(nodes));
+    let base = if fair {
+        JobServerConfig::fair(1)
+    } else {
+        JobServerConfig::fifo(1)
+    };
+    let server = JobServer::new(&c, base.pool("long", 1.0).pool("short", 1.0).start_paused());
+    let long = big_tensor(seed);
+    let short = small_tensor(seed);
+    let mut handles = Vec::new();
+    for v in 0..3u64 {
+        let t = long.clone();
+        handles.push(server.submit("long", move |c: &Cluster| run_job(c, &t, 3, v % 2)));
+    }
+    for v in 0..3u64 {
+        let t = short.clone();
+        handles.push(server.submit("short", move |c: &Cluster| run_job(c, &t, 1, v % 2)));
+    }
+    server.resume();
+    for h in handles {
+        h.join().completed().expect("burst job completed");
+    }
+    server.shutdown();
+
+    let m = c.metrics().snapshot();
+    let mean = |v: Vec<f64>| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let mut records: Vec<_> = m.job_records().cloned().collect();
+    records.sort_by_key(|r| r.start_seq);
+    Burst {
+        short_mean_delay: mean(m.pool_queue_delays("short")),
+        long_mean_delay: mean(m.pool_queue_delays("long")),
+        order: records.into_iter().map(|r| r.pool).collect(),
+    }
+}
+
+fn json_load_point(stats: &OfferedLoadStats) -> String {
+    let pools: Vec<String> = stats
+        .pools
+        .iter()
+        .map(|p| {
+            format!(
+                concat!(
+                    "{{\"pool\": {}, \"jobs\": {}, \"p50_latency_secs\": {:.6}, ",
+                    "\"p99_latency_secs\": {:.6}, \"mean_queue_delay_secs\": {:.6}}}"
+                ),
+                p.pool, p.jobs, p.p50_latency_secs, p.p99_latency_secs, p.mean_queue_delay_secs
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\"throughput_jobs_per_sec\": {:.6}, \"p50_latency_secs\": {:.6}, ",
+            "\"p99_latency_secs\": {:.6}, \"pools\": [{}]}}"
+        ),
+        stats.throughput_jobs_per_sec,
+        stats.p50_latency_secs,
+        stats.p99_latency_secs,
+        pools.join(", ")
+    )
+}
+
+fn main() {
+    let args = Args::from_env();
+    let seed: u64 = args.parse("seed", 0);
+    let nodes: usize = args.parse("nodes", 4);
+    let tiny = args.flag("tiny");
+    let interleavings: usize = args.parse("interleavings", if tiny { 5 } else { 20 });
+    let sweep_jobs: usize = args.parse("jobs", if tiny { 60 } else { 200 });
+
+    // --- Part 1: determinism across seeded interleavings -------------
+    let t = small_tensor(seed.wrapping_add(71));
+    let reference = baselines(&t, nodes);
+    println!(
+        "=== Job-server ablation: {} quiet + {} chaos interleavings of {} concurrent jobs ===",
+        interleavings, interleavings, MIX
+    );
+    for i in 0..interleavings as u64 {
+        // Quiet: delay jitter reorders cross-job commits without faults.
+        let quiet = ClusterConfig::local(4)
+            .nodes(nodes)
+            .faults(FaultConfig::crashes(seed.wrapping_add(i), 0.0).with_delays(0.4, 2));
+        assert_interleaving(quiet, &t, &reference, &format!("quiet interleaving {i}"));
+        // Chaos: crash / late-crash / delay schedules on top.
+        let chaos = ClusterConfig::local(4)
+            .nodes(nodes)
+            .max_task_attempts(4)
+            .faults(
+                FaultConfig::crashes(seed.wrapping_add(i), 0.25)
+                    .with_late_crashes(0.1)
+                    .with_delays(0.2, 2),
+            );
+        assert_interleaving(chaos, &t, &reference, &format!("chaos interleaving {i}"));
+    }
+    println!(
+        "bit-identical: {} interleavings x {} jobs, quiet and under chaos",
+        2 * interleavings,
+        MIX
+    );
+
+    // --- Part 2: measured burst, FIFO vs fair -------------------------
+    let fifo = run_burst(false, nodes, seed);
+    let fair = run_burst(true, nodes, seed);
+    println!("\n=== Burst: 3 long then 3 short jobs through a cap-1 server ===");
+    print_table(
+        &[
+            "policy",
+            "dispatch order",
+            "short mean delay",
+            "long mean delay",
+        ],
+        &[
+            vec![
+                "fifo".into(),
+                fifo.order.join(","),
+                format!("{:.1} ms", fifo.short_mean_delay * 1e3),
+                format!("{:.1} ms", fifo.long_mean_delay * 1e3),
+            ],
+            vec![
+                "fair".into(),
+                fair.order.join(","),
+                format!("{:.1} ms", fair.short_mean_delay * 1e3),
+                format!("{:.1} ms", fair.long_mean_delay * 1e3),
+            ],
+        ],
+    );
+    assert!(
+        fair.short_mean_delay < fifo.short_mean_delay,
+        "fair pools failed to protect the short pool's queue delay"
+    );
+
+    // --- Part 3: offered-load sweep on the time model ------------------
+    // Price each job class by its solo critical path through the stage
+    // graph, then sweep submission rates around the saturation point.
+    let model = spark_model(10.0);
+    let price = |t: &CooTensor, iters: usize, variant: u64| {
+        let c = Cluster::new(ClusterConfig::local(4).nodes(nodes).sequential_stages());
+        run_job(&c, t, iters, variant);
+        model.job_time(&c.metrics().snapshot())
+    };
+    let short_secs = price(&small_tensor(seed), 1, 0);
+    let long_secs = price(&big_tensor(seed), 3, 1);
+    let jobs: Vec<OfferedJob> = (0..sweep_jobs)
+        .map(|i| OfferedJob {
+            pool: i % 2,
+            service_secs: if i % 2 == 0 { short_secs } else { long_secs },
+        })
+        .collect();
+    let weights = [1.0, 1.0];
+    let cap = 2;
+    let mean_service = (short_secs + long_secs) / 2.0;
+    let saturation = cap as f64 / mean_service;
+    let multiples = [0.25, 0.5, 1.0, 2.0, 4.0];
+
+    println!(
+        "\n=== Offered load: short {:.3}s / long {:.3}s service, cap {}, saturation {:.2} jobs/s ===",
+        short_secs, long_secs, cap, saturation
+    );
+    let mut rows = Vec::new();
+    let mut json_points = Vec::new();
+    let mut last: Option<(OfferedLoadStats, OfferedLoadStats)> = None;
+    for &mult in &multiples {
+        let rate = mult * saturation;
+        let fifo = model.offered_load(&jobs, &weights, rate, cap, false);
+        let fair = model.offered_load(&jobs, &weights, rate, cap, true);
+        rows.push(vec![
+            format!("{mult:.2}x"),
+            format!("{rate:.2}"),
+            format!("{:.2}", fifo.throughput_jobs_per_sec),
+            format!("{:.3} s", fifo.pools[0].p99_latency_secs),
+            format!("{:.3} s", fair.pools[0].p99_latency_secs),
+            format!("{:.3} s", fifo.p99_latency_secs),
+            format!("{:.3} s", fair.p99_latency_secs),
+        ]);
+        json_points.push(format!(
+            "      {{\"rate_multiple\": {:.2}, \"rate_jobs_per_sec\": {:.6}, \"fifo\": {}, \"fair\": {}}}",
+            mult,
+            rate,
+            json_load_point(&fifo),
+            json_load_point(&fair)
+        ));
+        last = Some((fifo, fair));
+    }
+    print_table(
+        &[
+            "load",
+            "rate/s",
+            "tput/s",
+            "fifo short p99",
+            "fair short p99",
+            "fifo p99",
+            "fair p99",
+        ],
+        &rows,
+    );
+    // Acceptance bar: at the top offered load fair pools improve the
+    // short pool's p99 latency without giving up throughput.
+    let (fifo_top, fair_top) = last.expect("sweep ran");
+    assert!(
+        fair_top.pools[0].p99_latency_secs < fifo_top.pools[0].p99_latency_secs,
+        "fair pools failed to improve short-job p99 at high offered load"
+    );
+    assert!(
+        fair_top.throughput_jobs_per_sec >= 0.95 * fifo_top.throughput_jobs_per_sec,
+        "fair pools gave up throughput at high offered load"
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n  \"experiment\": \"ablation_jobserver\",\n",
+            "  \"rank\": {},\n  \"seed\": {},\n  \"nodes\": {},\n  \"tiny\": {},\n",
+            "  \"determinism\": {{\"interleavings_quiet\": {}, \"interleavings_chaos\": {}, ",
+            "\"concurrent_jobs\": {}, \"bit_identical\": true}},\n",
+            "  \"burst\": {{\"fifo_short_mean_queue_delay_secs\": {:.6}, ",
+            "\"fair_short_mean_queue_delay_secs\": {:.6}, ",
+            "\"fifo_long_mean_queue_delay_secs\": {:.6}, ",
+            "\"fair_long_mean_queue_delay_secs\": {:.6}, ",
+            "\"fifo_order\": [{}], \"fair_order\": [{}]}},\n",
+            "  \"offered_load\": {{\n",
+            "    \"short_service_secs\": {:.6}, \"long_service_secs\": {:.6},\n",
+            "    \"max_concurrent_jobs\": {}, \"saturation_rate_jobs_per_sec\": {:.6},\n",
+            "    \"sweep\": [\n{}\n    ]\n  }}\n}}\n"
+        ),
+        PAPER_RANK,
+        seed,
+        nodes,
+        tiny,
+        interleavings,
+        interleavings,
+        MIX,
+        fifo.short_mean_delay,
+        fair.short_mean_delay,
+        fifo.long_mean_delay,
+        fair.long_mean_delay,
+        fifo.order
+            .iter()
+            .map(|p| format!("\"{p}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
+        fair.order
+            .iter()
+            .map(|p| format!("\"{p}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
+        short_secs,
+        long_secs,
+        cap,
+        saturation,
+        json_points.join(",\n")
+    );
+    let path = results_dir().join("BENCH_jobserver.json");
+    std::fs::write(&path, json).expect("write JSON report");
+    println!("\n[wrote {}]", path.display());
+}

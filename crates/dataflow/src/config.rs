@@ -162,6 +162,85 @@ impl Default for ClusterConfig {
     }
 }
 
+/// Which queued job a [`crate::jobserver::JobServer`] dispatches when an
+/// admission slot frees up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulingMode {
+    /// Strict submission order across all pools (Spark's default
+    /// scheduler). Long jobs head-of-line-block short ones.
+    Fifo,
+    /// Weighted fair sharing between pools (Spark's
+    /// `spark.scheduler.mode=FAIR`): the pool with the least executed
+    /// service per unit weight dispatches next, so a short-job pool is
+    /// never starved behind a long-job pool.
+    Fair,
+}
+
+/// One scheduling pool of a [`JobServerConfig`]: a named queue with a
+/// fair-share weight (Spark's `fairscheduler.xml` pool entry).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolConfig {
+    /// Pool name; tenants submit into the pool matching their name.
+    pub name: String,
+    /// Fair-share weight (> 0). A weight-2 pool is entitled to twice the
+    /// executed service of a weight-1 pool while both have queued jobs.
+    pub weight: f64,
+}
+
+/// Configuration for a [`crate::jobserver::JobServer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobServerConfig {
+    /// Dispatch policy across pools.
+    pub mode: SchedulingMode,
+    /// Admission cap: at most this many jobs run concurrently (≥ 1);
+    /// further jobs wait in their pool's queue.
+    pub max_concurrent_jobs: usize,
+    /// Declared pools. Tenants without a matching pool get a fresh
+    /// weight-1 pool named after them on first submission.
+    pub pools: Vec<PoolConfig>,
+    /// Starts the server with dispatch paused: jobs queue but none run
+    /// until [`crate::jobserver::JobServer::resume`]. Lets tests submit a
+    /// whole batch and then observe pure scheduling order.
+    pub start_paused: bool,
+}
+
+impl JobServerConfig {
+    /// FIFO scheduling with the given admission cap.
+    pub fn fifo(max_concurrent_jobs: usize) -> Self {
+        assert!(max_concurrent_jobs > 0, "admission cap must be ≥ 1");
+        JobServerConfig {
+            mode: SchedulingMode::Fifo,
+            max_concurrent_jobs,
+            pools: Vec::new(),
+            start_paused: false,
+        }
+    }
+
+    /// Weighted fair scheduling with the given admission cap.
+    pub fn fair(max_concurrent_jobs: usize) -> Self {
+        JobServerConfig {
+            mode: SchedulingMode::Fair,
+            ..JobServerConfig::fifo(max_concurrent_jobs)
+        }
+    }
+
+    /// Declares a pool with a fair-share weight.
+    pub fn pool(mut self, name: impl Into<String>, weight: f64) -> Self {
+        assert!(weight > 0.0, "pool weight must be positive");
+        self.pools.push(PoolConfig {
+            name: name.into(),
+            weight,
+        });
+        self
+    }
+
+    /// Starts the server paused (see [`Self::start_paused`] field).
+    pub fn start_paused(mut self) -> Self {
+        self.start_paused = true;
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,13 +4,13 @@
 
 use crate::cache::{BlockManager, DiskStore};
 use crate::config::ClusterConfig;
-use crate::executor::{Executor, RunPolicy};
+use crate::executor::{CancelToken, Executor, RunPolicy, WaveError};
 use crate::fault::{FaultInjector, InjectedFault};
 use crate::metrics::{MetricsRegistry, StageCollector, StageDag, StageKind};
 use crate::rdd::{NodeInfo, Rdd, RddNode};
 use crate::shuffle::ShuffleService;
 use crate::Data;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -83,11 +83,32 @@ struct ClusterInner {
     next_shuffle_id: AtomicUsize,
 }
 
+/// Per-job driver context threaded through a [`Cluster`] handle while a
+/// [`crate::jobserver::JobServer`] job runs: identifies the server job in
+/// metrics, carries its cancel token, and accrues executed waves to the
+/// job and to its scheduling pool. Empty (all `None`) for jobs run
+/// directly on the cluster, which keeps the non-server path untouched.
+#[derive(Clone, Default)]
+pub(crate) struct JobSession {
+    /// Server-assigned job id, recorded on every stage's [`StageDag`].
+    pub(crate) server_job: Option<usize>,
+    /// Cooperative cancellation token checked between waves.
+    pub(crate) cancel: Option<CancelToken>,
+    /// Waves executed by this job (for the job's latency record).
+    pub(crate) waves: Option<Arc<AtomicU64>>,
+    /// Waves executed by this job's pool (the fair scheduler's live
+    /// service counter).
+    pub(crate) pool_service: Option<Arc<AtomicU64>>,
+}
+
 /// Handle to a simulated cluster. Cheap to clone (an `Arc` inside);
-/// all clones share executor, shuffle data, cache and metrics.
+/// all clones share executor, shuffle data, cache and metrics. A clone
+/// may additionally carry a [`JobSession`] when it is the driver handle
+/// of a job-server job; RDDs built from it inherit that session.
 #[derive(Clone)]
 pub struct Cluster {
     inner: Arc<ClusterInner>,
+    session: JobSession,
 }
 
 /// Per-task execution context handed to [`RddNode::compute`].
@@ -121,6 +142,57 @@ impl Cluster {
                 disk_store,
                 next_shuffle_id: AtomicUsize::new(0),
             }),
+            session: JobSession::default(),
+        }
+    }
+
+    /// Returns a handle to the same cluster carrying `session` — the
+    /// driver handle a [`crate::jobserver::JobServer`] hands to each job
+    /// closure, so every action the job runs is attributed and
+    /// cancellable.
+    pub(crate) fn with_job_session(&self, session: JobSession) -> Cluster {
+        Cluster {
+            inner: self.inner.clone(),
+            session,
+        }
+    }
+
+    /// True if this handle's job has been asked to cancel.
+    pub fn cancel_requested(&self) -> bool {
+        self.session
+            .cancel
+            .as_ref()
+            .is_some_and(CancelToken::is_cancelled)
+    }
+
+    /// Cancel token of the current job session, if any.
+    pub(crate) fn cancel_token(&self) -> Option<&CancelToken> {
+        self.session.cancel.as_ref()
+    }
+
+    /// Server job id of the current job session, if any.
+    pub(crate) fn server_job(&self) -> Option<usize> {
+        self.session.server_job
+    }
+
+    /// Accrues one executed wave to the current job and to its pool's
+    /// live service counter (the fair scheduler's currency).
+    pub(crate) fn note_wave(&self) {
+        if let Some(w) = &self.session.waves {
+            w.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(s) = &self.session.pool_service {
+            s.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Unwinds with a [`crate::jobserver::JobCancelled`] payload if the
+    /// current job has been cancelled. Called by the scheduler between
+    /// waves — never mid-wave, so cancellation cannot observe a
+    /// half-committed stage.
+    pub(crate) fn check_cancel(&self) {
+        if self.cancel_requested() {
+            std::panic::panic_any(crate::jobserver::JobCancelled);
         }
     }
 
@@ -250,16 +322,19 @@ impl Cluster {
         name: &str,
         f: impl Fn(usize, Vec<T>) -> U + Send + Sync,
     ) -> Vec<U> {
+        self.check_cancel();
         let info: Arc<dyn NodeInfo> = node.clone();
         let job = crate::scheduler::Job::plan(self, &info);
         let run = crate::scheduler::run_shuffle_stages(self, &job);
 
+        self.check_cancel();
         let nodes = self.inner.config.nodes;
         let dag = StageDag {
             job: run.job_id,
             wave: job.num_waves,
             parents: run.metric_ids(&job.result_parents),
             shuffle_id: None,
+            server_job: self.server_job(),
         };
         let collector = self
             .inner
@@ -282,11 +357,17 @@ impl Cluster {
                 }
             })
             .collect();
-        let (runs, stats) = self
+        self.note_wave();
+        let mut outcomes = self
             .inner
             .executor
-            .run_fallible(tasks, &self.run_policy())
-            .unwrap_or_else(|e| panic!("stage '{name}' aborted: {e}"));
+            .run_wave_cancellable(vec![tasks], &self.run_policy(), self.cancel_token())
+            .unwrap_or_else(|e| match e {
+                WaveError::Cancelled => std::panic::panic_any(crate::jobserver::JobCancelled),
+                WaveError::Task(e) => panic!("stage '{name}' aborted: {e}"),
+            });
+        let outcome = outcomes.pop().expect("one stage in, one outcome out");
+        let (runs, stats) = (outcome.results, outcome.stats);
         let mut results = Vec::with_capacity(runs.len());
         for (p, run) in runs.into_iter().enumerate() {
             collector.record_task(self.inner.config.node_of(p), run.cpu_secs, run.records);

@@ -11,8 +11,94 @@ use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Condvar;
+use std::sync::{Arc, Condvar};
 use std::time::{Duration, Instant};
+
+/// Cooperative cancellation flag shared between a job's driver and the
+/// executor. Cancelling never interrupts a running attempt — attempts are
+/// short and complete on their own — it stops *pending* attempts from
+/// starting and makes the wave return [`WaveError::Cancelled`] instead of
+/// results. Because the driver commits shuffle outputs only after a wave
+/// returns `Ok`, a cancelled wave publishes nothing: shuffle and
+/// block-manager state stay exactly as the last completed wave left them.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Creates a token in the not-cancelled state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Why [`Executor::run_wave_cancellable`] stopped without results.
+#[derive(Debug)]
+pub enum WaveError {
+    /// A task exhausted its retry budget (see [`TaskError`]).
+    Task(TaskError),
+    /// The wave's [`CancelToken`] fired; no stage of this wave committed
+    /// any output.
+    Cancelled,
+}
+
+impl std::fmt::Display for WaveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WaveError::Task(e) => e.fmt(f),
+            WaveError::Cancelled => write!(f, "wave cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for WaveError {}
+
+impl From<TaskError> for WaveError {
+    fn from(e: TaskError) -> Self {
+        WaveError::Task(e)
+    }
+}
+
+/// Counting semaphore bounding how many task attempts execute at once
+/// across *every* concurrently-running wave of one executor — the shared
+/// task-slot pool that makes several jobs' stages genuinely interleave on
+/// `threads` cores instead of each wave spawning its own unbounded pool.
+#[derive(Debug)]
+struct Slots {
+    free: Mutex<usize>,
+    available: Condvar,
+}
+
+impl Slots {
+    fn new(n: usize) -> Self {
+        Slots {
+            free: Mutex::new(n),
+            available: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) {
+        let mut free = self.free.lock();
+        while *free == 0 {
+            free = self.available.wait(free).expect("slot pool poisoned");
+        }
+        *free -= 1;
+    }
+
+    fn release(&self) {
+        *self.free.lock() += 1;
+        self.available.notify_one();
+    }
+}
 
 /// Retry and speculation policy for [`Executor::run_fallible`].
 #[derive(Debug, Clone, PartialEq)]
@@ -149,6 +235,15 @@ struct TaskState<R> {
 struct Batch<'t, F, R> {
     tasks: &'t [F],
     policy: RunPolicy,
+    /// Executor-wide task-slot pool; every attempt of every concurrent
+    /// wave holds one slot while it executes.
+    slots: &'t Slots,
+    /// Cooperative cancellation for the whole wave, if the caller
+    /// provided a token.
+    cancel: Option<CancelToken>,
+    /// Latched once a worker observes the cancel token: the wave returns
+    /// [`WaveError::Cancelled`] instead of results.
+    cancelled: AtomicBool,
     queue: Mutex<VecDeque<Attempt>>,
     available: Condvar,
     done: AtomicBool,
@@ -171,7 +266,13 @@ where
     F: Fn(usize) -> Result<R, String> + Sync,
     R: Send,
 {
-    fn new(tasks: &'t [F], sizes: &[usize], policy: RunPolicy) -> Self {
+    fn new(
+        tasks: &'t [F],
+        sizes: &[usize],
+        policy: RunPolicy,
+        slots: &'t Slots,
+        cancel: Option<CancelToken>,
+    ) -> Self {
         let n = tasks.len();
         debug_assert_eq!(sizes.iter().sum::<usize>(), n);
         let stage_of: Vec<usize> = sizes
@@ -182,6 +283,9 @@ where
         Batch {
             tasks,
             policy,
+            slots,
+            cancel,
+            cancelled: AtomicBool::new(false),
             queue: Mutex::new(
                 (0..n)
                     .map(|task| Attempt {
@@ -227,6 +331,62 @@ where
         self.available.notify_one();
     }
 
+    /// Observes the cancel token, if any. On the first observation the
+    /// wave is latched as cancelled and everyone is woken up to exit.
+    fn check_cancelled(&self) -> bool {
+        match &self.cancel {
+            Some(token) if token.is_cancelled() => {
+                self.cancelled.store(true, Ordering::Release);
+                self.finish();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Allocates the next attempt id for `task` and enqueues it — the one
+    /// relaunch path shared by the failure-retry and speculation sides, so
+    /// their bookkeeping (attempt ids, per-kind counters) cannot drift.
+    fn launch_attempt(&self, task: usize, speculative: bool) {
+        let state = &self.states[task];
+        if speculative {
+            state.stat_spec_launched.fetch_add(1, Ordering::Relaxed);
+        } else {
+            state.stat_retries.fetch_add(1, Ordering::Relaxed);
+        }
+        let attempt = state.next_attempt.fetch_add(1, Ordering::AcqRel);
+        self.enqueue(Attempt {
+            task,
+            attempt,
+            speculative,
+        });
+    }
+
+    /// Commits one successful attempt: first writer wins, then the
+    /// per-stage latch and the wave latch release in that order, so the
+    /// wave finishes exactly when its last stage commits its last task.
+    /// A losing duplicate only adds wasted time. This is the single
+    /// stage-outcome latch path — retries, speculative backups and first
+    /// attempts all land here.
+    fn commit(&self, att: &Attempt, value: R, elapsed: f64) {
+        let state = &self.states[att.task];
+        if state.committed.swap(true, Ordering::AcqRel) {
+            state.add_wasted(elapsed); // lost the commit race
+            return;
+        }
+        *state.result.lock() = Some(value);
+        self.durations.lock().push(elapsed);
+        if att.speculative {
+            state.stat_spec_won.fetch_add(1, Ordering::Relaxed);
+        }
+        let stage = self.stage_of[att.task];
+        if self.stage_remaining[stage].fetch_sub(1, Ordering::AcqRel) == 1
+            && self.remaining_stages.fetch_sub(1, Ordering::AcqRel) == 1
+        {
+            self.finish();
+        }
+    }
+
     /// Worker loop: pull attempts until the batch finishes or aborts.
     fn work(&self) {
         loop {
@@ -242,9 +402,25 @@ where
                     q = self.available.wait(q).expect("executor queue poisoned");
                 }
             };
+            if self.check_cancelled() {
+                return; // pending attempts are released, never started
+            }
             let state = &self.states[att.task];
             if state.committed.load(Ordering::Acquire) {
                 continue; // losing speculative duplicate, never started
+            }
+            // Hold one executor-wide slot for the duration of the attempt,
+            // so concurrent waves (one per running job) share `threads`
+            // cores instead of multiplying them.
+            self.slots.acquire();
+            if self.done.load(Ordering::Acquire) || state.committed.load(Ordering::Acquire) {
+                // The wave finished or a duplicate won while this worker
+                // queued for a core — drop the stale attempt.
+                self.slots.release();
+                if self.done.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
             }
             {
                 let mut since = state.running_since.lock();
@@ -259,27 +435,10 @@ where
                     Ok(Err(message)) => Err(message),
                     Err(payload) => Err(panic_message(&*payload)),
                 };
+            self.slots.release();
             let elapsed = t0.elapsed().as_secs_f64();
             match outcome {
-                Ok(value) => {
-                    if !state.committed.swap(true, Ordering::AcqRel) {
-                        *state.result.lock() = Some(value);
-                        self.durations.lock().push(elapsed);
-                        if att.speculative {
-                            state.stat_spec_won.fetch_add(1, Ordering::Relaxed);
-                        }
-                        // Per-stage latch first, then the wave-level one:
-                        // the wave finishes when its last stage does.
-                        let stage = self.stage_of[att.task];
-                        if self.stage_remaining[stage].fetch_sub(1, Ordering::AcqRel) == 1
-                            && self.remaining_stages.fetch_sub(1, Ordering::AcqRel) == 1
-                        {
-                            self.finish();
-                        }
-                    } else {
-                        state.add_wasted(elapsed); // lost the commit race
-                    }
-                }
+                Ok(value) => self.commit(&att, value, elapsed),
                 Err(message) => {
                     state.stat_failures.fetch_add(1, Ordering::Relaxed);
                     state.add_wasted(elapsed);
@@ -295,29 +454,29 @@ where
                         });
                         self.finish();
                     } else {
-                        state.stat_retries.fetch_add(1, Ordering::Relaxed);
-                        let id = state.next_attempt.fetch_add(1, Ordering::AcqRel);
-                        self.enqueue(Attempt {
-                            task: att.task,
-                            attempt: id,
-                            speculative: false,
-                        });
+                        self.launch_attempt(att.task, false);
                     }
                 }
             }
         }
     }
 
-    /// Speculation monitor: periodically launches backup copies of
-    /// stragglers. Runs on the driver thread while workers execute.
+    /// Speculation and cancellation monitor: periodically launches backup
+    /// copies of stragglers and polls the cancel token (so a cancel takes
+    /// effect even while every worker is busy inside a long attempt).
+    /// Runs on the driver thread while workers execute.
     fn monitor(&self) {
-        let spec = match self.policy.speculation.clone() {
-            Some(s) => s,
-            None => return,
-        };
+        let spec = self.policy.speculation.clone();
+        if spec.is_none() && self.cancel.is_none() {
+            return;
+        }
         let n = self.states.len();
         while !self.done.load(Ordering::Acquire) {
             std::thread::sleep(Duration::from_millis(2));
+            if self.check_cancelled() {
+                return;
+            }
+            let Some(spec) = &spec else { continue };
             let median = {
                 let d = self.durations.lock();
                 // Like Spark, wait for a quorum of finished tasks before
@@ -342,13 +501,7 @@ where
                     .map(|t| t.elapsed().as_secs_f64());
                 if let Some(age) = age {
                     if age > threshold && !state.speculated.swap(true, Ordering::AcqRel) {
-                        state.stat_spec_launched.fetch_add(1, Ordering::Relaxed);
-                        let id = state.next_attempt.fetch_add(1, Ordering::AcqRel);
-                        self.enqueue(Attempt {
-                            task,
-                            attempt: id,
-                            speculative: true,
-                        });
+                        self.launch_attempt(task, true);
                     }
                 }
             }
@@ -379,7 +532,7 @@ impl<R> TaskState<R> {
     }
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -390,9 +543,15 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// A fork-join executor with a fixed worker count.
+///
+/// Concurrent waves (one per running job on a shared cluster) each spawn
+/// their own scoped worker threads, but every task attempt must hold one
+/// of the executor-wide [`Slots`] for its duration — so total CPU-bound
+/// concurrency stays at `threads` however many jobs are in flight.
 #[derive(Debug)]
 pub struct Executor {
     threads: usize,
+    slots: Slots,
 }
 
 impl Executor {
@@ -400,6 +559,7 @@ impl Executor {
     pub fn new(threads: usize) -> Self {
         Executor {
             threads: threads.max(1),
+            slots: Slots::new(threads.max(1)),
         }
     }
 
@@ -511,6 +671,33 @@ impl Executor {
         F: Fn(usize) -> Result<R, String> + Send + Sync,
         R: Send,
     {
+        self.run_wave_cancellable(stages, policy, None)
+            .map_err(|e| match e {
+                WaveError::Task(e) => e,
+                WaveError::Cancelled => unreachable!("no cancel token was supplied"),
+            })
+    }
+
+    /// [`Executor::run_wave`] with cooperative cancellation: if `cancel`
+    /// is supplied and fires, pending attempts are released without being
+    /// started, in-flight attempts run to completion (their commits are
+    /// discarded with the rest of the wave), and the call returns
+    /// [`WaveError::Cancelled`]. Because the driver only publishes stage
+    /// outputs *after* a wave returns successfully, a cancelled wave
+    /// leaves shuffle and block-manager state exactly as it found them.
+    pub fn run_wave_cancellable<F, R>(
+        &self,
+        stages: Vec<Vec<F>>,
+        policy: &RunPolicy,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Vec<StageOutcome<R>>, WaveError>
+    where
+        F: Fn(usize) -> Result<R, String> + Send + Sync,
+        R: Send,
+    {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            return Err(WaveError::Cancelled);
+        }
         let sizes: Vec<usize> = stages.iter().map(Vec::len).collect();
         let tasks: Vec<F> = stages.into_iter().flatten().collect();
         let n = tasks.len();
@@ -526,18 +713,22 @@ impl Executor {
         let mut policy = policy.clone();
         policy.max_attempts = policy.max_attempts.max(1);
 
-        let batch = Batch::new(&tasks, &sizes, policy);
+        let batch = Batch::new(&tasks, &sizes, policy, &self.slots, cancel.cloned());
         std::thread::scope(|scope| {
             for _ in 0..self.threads.min(n) {
                 scope.spawn(|| batch.work());
             }
-            // The driver thread doubles as the speculation monitor (no-op
-            // when speculation is off); workers run until `finish()`.
+            // The driver thread doubles as the speculation / cancellation
+            // monitor (no-op when both are off); workers run until
+            // `finish()`.
             batch.monitor();
         });
 
+        if batch.cancelled.load(Ordering::Acquire) {
+            return Err(WaveError::Cancelled);
+        }
         if let Some(err) = batch.error.lock().take() {
-            return Err(err);
+            return Err(WaveError::Task(err));
         }
         let stats: Vec<RunStats> = {
             let mut offset = 0;

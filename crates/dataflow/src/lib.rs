@@ -55,6 +55,7 @@ pub mod context;
 pub mod executor;
 pub mod fault;
 pub mod hash;
+pub mod jobserver;
 pub mod metrics;
 pub mod partitioner;
 pub mod rdd;
@@ -65,11 +66,14 @@ pub mod size;
 
 pub use broadcast::Broadcast;
 pub use cache::StorageLevel;
-pub use config::ClusterConfig;
+pub use config::{ClusterConfig, JobServerConfig, PoolConfig, SchedulingMode};
 pub use context::{Cluster, TaskContext};
-pub use executor::{RunPolicy, RunStats, SpeculationPolicy, TaskError};
+pub use executor::{CancelToken, RunPolicy, RunStats, SpeculationPolicy, TaskError, WaveError};
 pub use fault::{FaultConfig, FaultInjector, InjectedFault};
-pub use metrics::{JobMetrics, MetricsRegistry, StageKind, StageMetrics};
+pub use jobserver::{JobHandle, JobOutcome, JobServer, JobStatus};
+pub use metrics::{
+    JobMetrics, JobOutcomeKind, JobRecord, MetricsRegistry, StageKind, StageMetrics,
+};
 pub use partitioner::{
     HashPartitioner, KeyPartitioner, PartitionerRef, PartitionerSig, RangePartitioner,
 };
@@ -93,10 +97,12 @@ pub mod prelude {
     pub use crate::broadcast::Broadcast;
     pub use crate::cache::StorageLevel;
     pub use crate::config::ClusterConfig;
+    pub use crate::config::{JobServerConfig, SchedulingMode};
     pub use crate::context::{Cluster, TaskContext};
     pub use crate::executor::{RunPolicy, SpeculationPolicy};
     pub use crate::fault::FaultConfig;
-    pub use crate::metrics::{JobMetrics, StageKind};
+    pub use crate::jobserver::{JobHandle, JobOutcome, JobServer, JobStatus};
+    pub use crate::metrics::{JobMetrics, JobOutcomeKind, JobRecord, StageKind};
     pub use crate::partitioner::{
         HashPartitioner, KeyPartitioner, PartitionerRef, PartitionerSig, RangePartitioner,
     };

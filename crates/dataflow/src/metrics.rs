@@ -38,6 +38,50 @@ pub struct StageDag {
     pub parents: Vec<usize>,
     /// Shuffle produced by this stage (`None` for the result stage).
     pub shuffle_id: Option<usize>,
+    /// [`crate::jobserver::JobServer`] job this stage ran for (`None` when
+    /// the job was run directly on the cluster). Unlike `job` — which is
+    /// allocated per *action* — one server job spans every action its
+    /// closure runs, so this is the key for per-tenant accounting.
+    pub server_job: Option<usize>,
+}
+
+/// How a [`crate::jobserver::JobServer`] job ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum JobOutcomeKind {
+    /// The job's closure returned a value.
+    Completed,
+    /// The job was cancelled (before or during execution).
+    Cancelled,
+    /// The job's closure panicked or a stage exhausted its attempts.
+    Failed,
+}
+
+/// Lifecycle record of one [`crate::jobserver::JobServer`] job, emitted as
+/// an [`Event::JobFinished`] when the job leaves the server. Queue-delay
+/// and latency come from the server's own clock; `waves` counts executed
+/// stage waves (the fair scheduler's service currency).
+#[derive(Debug, Clone, Serialize)]
+pub struct JobRecord {
+    /// Server-assigned job id (the `server_job` on this job's stages).
+    pub server_job: usize,
+    /// Submitting tenant.
+    pub tenant: String,
+    /// Scheduling pool the job ran in.
+    pub pool: String,
+    /// Submission order across the whole server (0-based).
+    pub submit_seq: usize,
+    /// Dispatch order across the whole server (0-based). Jobs cancelled
+    /// while still queued never dispatch and record `usize::MAX`.
+    pub start_seq: usize,
+    /// Seconds spent queued before dispatch.
+    pub queue_delay_secs: f64,
+    /// Seconds from dispatch to completion (0 if never dispatched).
+    pub run_secs: f64,
+    /// Stage waves executed by the job (including each action's result
+    /// wave).
+    pub waves: u64,
+    /// How the job ended.
+    pub outcome: JobOutcomeKind,
 }
 
 /// Aggregated measurements for one executed stage.
@@ -323,6 +367,9 @@ pub enum Event {
         /// Storage owner (`"rdd-<id>"`).
         owner: String,
     },
+    /// A [`crate::jobserver::JobServer`] job finished (completed, failed
+    /// or cancelled); carries its queue-delay / latency record.
+    JobFinished(JobRecord),
 }
 
 /// An immutable snapshot of everything recorded since the last reset.
@@ -400,6 +447,50 @@ impl JobMetrics {
     pub fn stages_in_job(&self, job: usize) -> impl Iterator<Item = &StageMetrics> + '_ {
         self.stages()
             .filter(move |s| s.dag.as_ref().is_some_and(|d| d.job == job))
+    }
+
+    /// Executed stages belonging to one [`crate::jobserver::JobServer`]
+    /// job (all its actions), in execution order — the per-tenant
+    /// counterpart of [`Self::stages_in_job`].
+    pub fn stages_in_server_job(&self, server_job: usize) -> impl Iterator<Item = &StageMetrics> {
+        self.stages().filter(move |s| {
+            s.dag
+                .as_ref()
+                .is_some_and(|d| d.server_job == Some(server_job))
+        })
+    }
+
+    /// Lifecycle records of finished job-server jobs, in finish order.
+    pub fn job_records(&self) -> impl Iterator<Item = &JobRecord> {
+        self.events.iter().filter_map(|e| match e {
+            Event::JobFinished(r) => Some(r),
+            _ => None,
+        })
+    }
+
+    /// Scheduling pools that finished at least one job, in first-seen
+    /// order.
+    pub fn job_pools(&self) -> Vec<String> {
+        let mut pools: Vec<String> = Vec::new();
+        for r in self.job_records() {
+            if !pools.contains(&r.pool) {
+                pools.push(r.pool.clone());
+            }
+        }
+        pools
+    }
+
+    /// Finished-job records of one scheduling pool, in finish order.
+    pub fn jobs_in_pool<'a>(&'a self, pool: &'a str) -> impl Iterator<Item = &'a JobRecord> + 'a {
+        self.job_records().filter(move |r| r.pool == pool)
+    }
+
+    /// Queue delays (seconds spent between submission and dispatch) of
+    /// one pool's finished jobs, in finish order.
+    pub fn pool_queue_delays(&self, pool: &str) -> Vec<f64> {
+        self.jobs_in_pool(pool)
+            .map(|r| r.queue_delay_secs)
+            .collect()
     }
 
     /// Total remote shuffle bytes read.
@@ -685,6 +776,19 @@ impl JobMetrics {
                 | Event::StorageSpillWrite { .. }
                 | Event::StorageSpillRead { .. }
                 | Event::StorageRecompute { .. } => {}
+                Event::JobFinished(r) => {
+                    let _ = writeln!(
+                        out,
+                        "       job {:>3} [{}/{}] {:?} | queued {:.4} s | ran {:.4} s | {} waves",
+                        r.server_job,
+                        truncate(&r.tenant, 10),
+                        truncate(&r.pool, 10),
+                        r.outcome,
+                        r.queue_delay_secs,
+                        r.run_secs,
+                        r.waves,
+                    );
+                }
             }
         }
         // Per-job stage DAGs: edges, wave per stage, and the
@@ -776,6 +880,27 @@ impl JobMetrics {
                 "  {owner:<12} evicted {evicted} B | spilled {spilled} B | spill-read {reread} B | recomputed {recomputes}",
             );
         }
+        // Per-pool job-server summary: queue-delay distribution and run
+        // time, the numbers the fair-vs-FIFO ablation compares.
+        for pool in self.job_pools() {
+            let records: Vec<&JobRecord> = self.jobs_in_pool(&pool).collect();
+            let delays = self.pool_queue_delays(&pool);
+            let mean_delay = delays.iter().sum::<f64>() / delays.len().max(1) as f64;
+            let mean_run =
+                records.iter().map(|r| r.run_secs).sum::<f64>() / records.len().max(1) as f64;
+            let count = |k: JobOutcomeKind| records.iter().filter(|r| r.outcome == k).count();
+            let waves: u64 = records.iter().map(|r| r.waves).sum();
+            let _ = writeln!(
+                out,
+                "JOBS   pool {pool:<10} {} jobs ({} completed, {} cancelled, {} failed) | queue-delay mean {mean_delay:.4} s p50 {:.4} s p99 {:.4} s | run mean {mean_run:.4} s | {waves} waves",
+                records.len(),
+                count(JobOutcomeKind::Completed),
+                count(JobOutcomeKind::Cancelled),
+                count(JobOutcomeKind::Failed),
+                percentile(&delays, 50.0),
+                percentile(&delays, 99.0),
+            );
+        }
         out
     }
 
@@ -794,6 +919,19 @@ fn truncate(s: &str, n: usize) -> &str {
     } else {
         &s[..n]
     }
+}
+
+/// Nearest-rank percentile of `values` (`pct` in 0..=100). Returns 0.0
+/// for an empty slice. Used for the queue-delay / latency distributions
+/// in the JOBS report and the offered-load model.
+pub fn percentile(values: &[f64], pct: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((pct / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
 }
 
 /// Cluster-wide metrics log. Thread-safe; cheap to share.
@@ -891,6 +1029,11 @@ impl MetricsRegistry {
     /// Appends a finished stage to the log.
     pub(crate) fn finish_stage(&self, collector: StageCollector) {
         self.events.lock().push(Event::Stage(collector.finish()));
+    }
+
+    /// Records the lifecycle of a finished job-server job.
+    pub fn record_job(&self, record: JobRecord) {
+        self.events.lock().push(Event::JobFinished(record));
     }
 
     /// Declares a distributed-storage read (Hadoop platform modeling).
@@ -1175,6 +1318,7 @@ mod tests {
                 wave: 0,
                 parents: vec![skipped],
                 shuffle_id: Some(8),
+                server_job: None,
             },
         );
         let a_id = a.stage_id();
@@ -1189,6 +1333,7 @@ mod tests {
                 wave: 1,
                 parents: vec![a_id],
                 shuffle_id: None,
+                server_job: None,
             },
         );
         b.record_task(0, 0.1, 10);

@@ -33,6 +33,7 @@
 //! exactly that.
 
 use crate::context::{run_attempt, Cluster, TaskContext};
+use crate::executor::WaveError;
 use crate::hash::FxHashMap;
 use crate::metrics::{StageCollector, StageDag, StageKind};
 use crate::rdd::{Dependency, NodeInfo, ShuffleDependency};
@@ -280,10 +281,12 @@ pub(crate) fn run_shuffle_stages(cluster: &Cluster, job: &Job) -> JobRun {
     }
     if cluster.config().sequential_stages {
         for stage in job.stages.iter().filter(|s| !s.skipped) {
+            cluster.check_cancel();
             run_wave_of_stages(cluster, &mut run, &[stage]);
         }
     } else {
         for wave in 0..job.num_waves {
+            cluster.check_cancel();
             let runnable: Vec<&Stage> = job.stages_in_wave(wave).collect();
             run_wave_of_stages(cluster, &mut run, &runnable);
         }
@@ -309,6 +312,7 @@ fn run_wave_of_stages(cluster: &Cluster, run: &mut JobRun, stages: &[&Stage]) {
                     wave: stage.wave,
                     parents: run.metric_ids(&stage.parents),
                     shuffle_id: Some(stage.shuffle_id),
+                    server_job: cluster.server_job(),
                 };
                 let collector = cluster.metrics().begin_stage_in_dag(
                     &plan.name,
@@ -339,6 +343,7 @@ fn run_wave_of_stages(cluster: &Cluster, run: &mut JobRun, stages: &[&Stage]) {
     if execs.is_empty() {
         return;
     }
+    cluster.note_wave();
     let injector = cluster.fault_injector();
     // One closure site for every task of every stage: the batches share a
     // single concrete closure type, so no per-task boxing is needed.
@@ -365,8 +370,15 @@ fn run_wave_of_stages(cluster: &Cluster, run: &mut JobRun, stages: &[&Stage]) {
         .collect();
     let outcomes = cluster
         .executor()
-        .run_wave(batches, &cluster.run_policy())
+        .run_wave_cancellable(batches, &cluster.run_policy(), cluster.cancel_token())
         .unwrap_or_else(|e| {
+            let e = match e {
+                // A cancelled wave committed nothing: unwinding here (the
+                // driver thread, before the commit loop below) leaves
+                // shuffle and block-manager state untouched.
+                WaveError::Cancelled => std::panic::panic_any(crate::jobserver::JobCancelled),
+                WaveError::Task(e) => e,
+            };
             // Map the wave's flat task index back to the failing stage.
             let mut offset = 0;
             let mut name = "unknown";
