@@ -10,7 +10,7 @@ use cstf_dataflow::prelude::*;
 use cstf_tensor::csf::CsfTensor;
 use cstf_tensor::dimtree::DimTree;
 use cstf_tensor::mttkrp::{mttkrp, mttkrp_parallel};
-use cstf_tensor::random::RandomTensor;
+use cstf_tensor::random::{IndexDistribution, RandomTensor};
 use cstf_tensor::{CooTensor, DenseMatrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -115,5 +115,36 @@ fn bench_distributed(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sequential, bench_distributed);
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mttkrp_kernels");
+    group.sample_size(10);
+    let nnz = 20_000;
+    // Zipf-skewed indices: hub keys dominate the reduce, the regime the
+    // sorted-runs kernel (and its heavy-key splitting) targets.
+    let t = RandomTensor::new(vec![500, 400, 300])
+        .nnz(nnz)
+        .seed(9)
+        .distribution(IndexDistribution::Zipf(1.2))
+        .build();
+    let f = factors(&t, 3);
+    let cluster = Cluster::new(ClusterConfig::auto().nodes(4));
+    let rdd = tensor_to_rdd(&cluster, &t, 16).persist(StorageLevel::MemoryRaw);
+    let _ = rdd.count();
+    for (name, kernel) in [
+        ("record_at_a_time", KernelStrategy::RecordAtATime),
+        ("sorted_runs", KernelStrategy::SortedRuns),
+        ("sorted_runs_split", KernelStrategy::split(0.05)),
+    ] {
+        let opts = MttkrpOptions {
+            kernel,
+            ..MttkrpOptions::default()
+        };
+        group.bench_function(BenchmarkId::new("cstf_coo", name), |b| {
+            b.iter(|| mttkrp_coo(&cluster, &rdd, &f, t.shape(), 0, &opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sequential, bench_distributed, bench_kernels);
 criterion_main!(benches);

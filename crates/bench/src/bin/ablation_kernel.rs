@@ -1,0 +1,277 @@
+//! Ablation: task-kernel strategies — record-at-a-time hash probing vs
+//! sorted-run combining with arena-backed rows, with and without
+//! skew-aware heavy-key splitting.
+//!
+//! ```text
+//! cargo run --release -p cstf-bench --bin ablation_kernel -- \
+//!     [--scale 40] [--seed 0] [--nodes 8] [--iters 2] [--tiny]
+//! ```
+//!
+//! Runs full CP-ALS (QCOO pipeline) on a Zipf-skewed and a uniform
+//! synthetic tensor under each [`KernelStrategy`], timing every
+//! configuration through the criterion shim (one warm-up + fixed timed
+//! iterations) and counting heap allocations with a wrapping global
+//! allocator. Also reports the kernel counters (sorted runs, split keys,
+//! subtasks, arena hit rate) and the max/mean records-per-subtask ratio
+//! of the reduce stages — the straggler statistic heavy-key splitting is
+//! supposed to cap. Factors must stay bit-identical to the
+//! record-at-a-time reference for every strategy; the run aborts
+//! otherwise. Results land in `results/BENCH_kernel.json`.
+//!
+//! `--tiny` shrinks both tensors to the CI smoke configuration.
+
+use criterion::Criterion;
+use cstf_bench::*;
+use cstf_core::{CpAls, CpResult, Strategy};
+use cstf_dataflow::kernel::pool;
+use cstf_dataflow::prelude::*;
+use cstf_tensor::random::{IndexDistribution, RandomTensor};
+use cstf_tensor::CooTensor;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// [`System`] allocator wrapped with allocation counting, so the ablation
+/// can report how many heap allocations each kernel strategy performs.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers entirely to `System`; the counters are plain atomics.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn alloc_stats() -> (u64, u64) {
+    (
+        ALLOCATIONS.load(Ordering::Relaxed),
+        ALLOCATED_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+fn run_kernel(
+    tensor: &CooTensor,
+    kernel: KernelStrategy,
+    nodes: usize,
+    iters: usize,
+    seed: u64,
+) -> (Cluster, CpResult) {
+    let cluster = Cluster::new(ClusterConfig::auto().nodes(nodes));
+    let result = CpAls::new(PAPER_RANK)
+        .strategy(Strategy::Qcoo)
+        .kernel(kernel)
+        .max_iterations(iters)
+        .skip_fit()
+        .seed(seed)
+        .run(&cluster, tensor)
+        .expect("CP-ALS run failed");
+    (cluster, result)
+}
+
+fn assert_bit_identical(a: &CpResult, b: &CpResult, what: &str) {
+    for (fa, fb) in a.kruskal.factors.iter().zip(b.kruskal.factors.iter()) {
+        for (x, y) in fa.data().iter().zip(fb.data().iter()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: factors diverged");
+        }
+    }
+}
+
+/// Worst max/mean records-per-subtask ratio across the kernel reduce
+/// stages: `max_subtask_records / (stage shuffle-read records / subtasks)`.
+/// 1.0 is perfectly balanced; heavy-key splitting should pull it down
+/// toward 1 on skewed data. `None` when no kernel stage ran.
+fn max_mean_subtask_ratio(metrics: &JobMetrics) -> Option<f64> {
+    metrics
+        .stages()
+        .filter(|s| s.kernel_subtasks > 0 && s.shuffle_read_records > 0)
+        .map(|s| {
+            let mean = s.shuffle_read_records as f64 / s.kernel_subtasks as f64;
+            s.kernel_max_subtask_records as f64 / mean
+        })
+        .fold(None, |acc, r| Some(acc.map_or(r, |a: f64| a.max(r))))
+}
+
+fn main() {
+    let args = Args::from_env();
+    let scale: f64 = args.parse("scale", 40.0);
+    let seed: u64 = args.parse("seed", 0);
+    let nodes: usize = args.parse("nodes", 8);
+    let iters: usize = args.parse("iters", DEFAULT_ITERATIONS);
+    let tiny = args.flag("tiny");
+
+    // Two synthetic tensors of identical shape: hub-dominated (the regime
+    // heavy-key splitting targets — crawled tagging data is Zipf-skewed)
+    // and uniform (the regime where splitting should be a no-op).
+    let (shape, nnz) = if tiny {
+        (vec![30u32, 24, 18], 800usize)
+    } else {
+        let s = |full: f64| ((full / scale).ceil() as u32).max(8);
+        (
+            vec![s(4000.0), s(3000.0), s(2000.0)],
+            ((200_000.0 / scale).ceil() as usize).max(64),
+        )
+    };
+    let datasets: Vec<(&str, CooTensor)> = vec![
+        (
+            "zipf_skewed",
+            RandomTensor::new(shape.clone())
+                .nnz(nnz)
+                .seed(seed)
+                .distribution(IndexDistribution::Zipf(1.2))
+                .build(),
+        ),
+        (
+            "uniform",
+            RandomTensor::new(shape.clone()).nnz(nnz).seed(seed).build(),
+        ),
+    ];
+
+    let kernels = [
+        KernelStrategy::RecordAtATime,
+        KernelStrategy::SortedRuns,
+        KernelStrategy::split(0.05),
+    ];
+
+    let mut json_datasets = Vec::new();
+    for (name, tensor) in &datasets {
+        println!(
+            "\n=== Kernel ablation: {} (shape {:?}, nnz {}, {} nodes, {} iters) ===",
+            name,
+            tensor.shape(),
+            tensor.nnz(),
+            nodes,
+            iters
+        );
+
+        // Reference run fixing the bit-identity baseline.
+        let (_, reference) = run_kernel(tensor, KernelStrategy::RecordAtATime, nodes, iters, seed);
+
+        let mut rows = Vec::new();
+        let mut json_kernels = Vec::new();
+        let mut wall_by_kernel = Vec::new();
+        for kernel in kernels {
+            // Counted run: allocation and arena deltas plus the kernel
+            // counters, outside the timing loop.
+            pool::reset_total_stats();
+            let (allocs_before, bytes_before) = alloc_stats();
+            let (cluster, result) = run_kernel(tensor, kernel, nodes, iters, seed);
+            let (allocs_after, bytes_after) = alloc_stats();
+            let (arena_hits, arena_misses) = pool::total_stats();
+            assert_bit_identical(&reference, &result, &format!("{name}/{kernel}"));
+            let metrics = cluster.metrics().snapshot();
+            let allocations = allocs_after - allocs_before;
+            let alloc_bytes = bytes_after - bytes_before;
+            let ratio = max_mean_subtask_ratio(&metrics);
+
+            // Timed run through the criterion shim (one warm-up plus the
+            // shim's fixed iteration count; quick mode honours
+            // CSTF_BENCH_QUICK).
+            let mut c = Criterion::default();
+            let mut group = c.benchmark_group(format!("ablation_kernel/{name}"));
+            group.bench_function(format!("{kernel}"), |b| {
+                b.iter(|| run_kernel(tensor, kernel, nodes, iters, seed).1)
+            });
+            group.finish();
+            let wall_ms = criterion::take_measurements()
+                .pop()
+                .map(|(_, ms)| ms)
+                .expect("criterion shim recorded the run");
+            wall_by_kernel.push((kernel, wall_ms));
+
+            rows.push(vec![
+                format!("{kernel}"),
+                format!("{wall_ms:.2}"),
+                allocations.to_string(),
+                metrics.total_kernel_runs().to_string(),
+                metrics.total_kernel_split_keys().to_string(),
+                metrics.total_kernel_subtasks().to_string(),
+                ratio.map_or("-".to_string(), |r| format!("{r:.2}")),
+                arena_hits.to_string(),
+            ]);
+            json_kernels.push(format!(
+                concat!(
+                    "      {{\"kernel\": \"{}\", \"wall_ms\": {:.6}, ",
+                    "\"allocations\": {}, \"alloc_bytes\": {}, ",
+                    "\"kernel_runs\": {}, \"split_keys\": {}, ",
+                    "\"subtasks\": {}, \"max_subtask_records\": {}, ",
+                    "\"max_mean_subtask_ratio\": {}, ",
+                    "\"arena_hits\": {}, \"arena_misses\": {}, ",
+                    "\"bit_identical\": true}}"
+                ),
+                kernel,
+                wall_ms,
+                allocations,
+                alloc_bytes,
+                metrics.total_kernel_runs(),
+                metrics.total_kernel_split_keys(),
+                metrics.total_kernel_subtasks(),
+                metrics.max_kernel_subtask_records(),
+                ratio.map_or("null".to_string(), |r| format!("{r:.6}")),
+                arena_hits,
+                arena_misses
+            ));
+        }
+        print_table(
+            &[
+                "kernel",
+                "wall ms",
+                "allocations",
+                "runs",
+                "split keys",
+                "subtasks",
+                "max/mean",
+                "arena hits",
+            ],
+            &rows,
+        );
+        let record_ms = wall_by_kernel[0].1;
+        let sorted_ms = wall_by_kernel[1].1;
+        let split_ms = wall_by_kernel[2].1;
+        println!(
+            "speedup vs record-at-a-time: sorted-runs {:.2}x, +split {:.2}x",
+            record_ms / sorted_ms.max(1e-9),
+            record_ms / split_ms.max(1e-9)
+        );
+        json_datasets.push(format!(
+            concat!(
+                "    {{\"dataset\": \"{}\", \"nnz\": {}, ",
+                "\"speedup_sorted_runs\": {:.6}, \"speedup_split\": {:.6}, ",
+                "\"kernels\": [\n{}\n    ]}}"
+            ),
+            name,
+            tensor.nnz(),
+            record_ms / sorted_ms.max(1e-9),
+            record_ms / split_ms.max(1e-9),
+            json_kernels.join(",\n")
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n  \"experiment\": \"ablation_kernel\",\n",
+            "  \"strategy\": \"QCOO\",\n  \"rank\": {},\n  \"nodes\": {},\n",
+            "  \"iterations\": {},\n  \"seed\": {},\n  \"tiny\": {},\n",
+            "  \"datasets\": [\n{}\n  ]\n}}\n"
+        ),
+        PAPER_RANK,
+        nodes,
+        iters,
+        seed,
+        tiny,
+        json_datasets.join(",\n")
+    );
+    let path = results_dir().join("BENCH_kernel.json");
+    std::fs::write(&path, json).expect("write JSON report");
+    println!("\n[wrote {}]", path.display());
+}

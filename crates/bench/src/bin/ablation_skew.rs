@@ -12,7 +12,10 @@
 //! layout — contiguous chunks of the nonzero list — is perfectly even.
 //! This experiment measures both: the max/mean records-per-partition
 //! ratio of the nonzero layout vs a mode-keyed repartition, for the
-//! skewed crawled datasets and the uniform synthetic one.
+//! skewed crawled datasets and the uniform synthetic one. Results land in
+//! `results/ablation_skew.csv` and `results/BENCH_skew.json`; the JSON's
+//! per-mode `hub_frequency` is the statistic the kernel's heavy-key split
+//! threshold (`SplitConfig::frequency`) is calibrated against.
 
 use cstf_bench::*;
 use cstf_core::factors::tensor_to_rdd;
@@ -26,6 +29,7 @@ fn main() {
     let partitions = 32usize;
 
     let mut rows = Vec::new();
+    let mut json_datasets = Vec::new();
     for spec in [DELICIOUS3D, NELL1, SYNT3D] {
         let tensor = spec.generate(scale, seed);
         let cluster = Cluster::new(ClusterConfig::auto().nodes(8));
@@ -43,6 +47,7 @@ fn main() {
 
         // Mode-keyed layout for every mode (what a per-mode hash shuffle
         // produces).
+        let mut json_modes = Vec::new();
         for mode in 0..tensor.order() {
             let keyed_sizes: Vec<usize> = rdd
                 .map(move |rec| (rec.coord[mode], rec))
@@ -51,6 +56,10 @@ fn main() {
                 .collect();
             let (key_ratio, key_max) = imbalance(keyed_sizes);
             let hub = tensor.mode_histogram(mode).into_iter().max().unwrap_or(0);
+            // The hub frequency is what the sorted-runs kernel's heavy-key
+            // split threshold (`SplitConfig::frequency`) is calibrated
+            // against: any key above it gets chunked across subtasks.
+            let hub_frequency = hub as f64 / tensor.nnz().max(1) as f64;
             rows.push(vec![
                 spec.name.to_string(),
                 format!("mode {}", mode + 1),
@@ -60,7 +69,28 @@ fn main() {
                 format!("{key_ratio:.2}"),
                 key_max.to_string(),
             ]);
+            json_modes.push(format!(
+                concat!(
+                    "      {{\"mode\": {}, \"distinct_indices\": {}, ",
+                    "\"hub_nnz\": {}, \"hub_frequency\": {:.6}, ",
+                    "\"nonzero_layout_ratio\": {:.6}, ",
+                    "\"mode_keyed_ratio\": {:.6}, \"mode_keyed_max\": {}}}"
+                ),
+                mode + 1,
+                tensor.distinct_indices(mode),
+                hub,
+                hub_frequency,
+                nz_ratio,
+                key_ratio,
+                key_max
+            ));
         }
+        json_datasets.push(format!(
+            "    {{\"dataset\": \"{}\", \"nnz\": {}, \"modes\": [\n{}\n    ]}}",
+            spec.name,
+            tensor.nnz(),
+            json_modes.join(",\n")
+        ));
     }
     println!("Partition load imbalance (max/mean records per partition), 32 partitions:\n");
     print_table(
@@ -95,4 +125,18 @@ fn main() {
         ],
         &rows,
     );
+    let json = format!(
+        concat!(
+            "{{\n  \"experiment\": \"ablation_skew\",\n",
+            "  \"partitions\": {},\n  \"scale\": {},\n  \"seed\": {},\n",
+            "  \"datasets\": [\n{}\n  ]\n}}\n"
+        ),
+        partitions,
+        scale,
+        seed,
+        json_datasets.join(",\n")
+    );
+    let path = results_dir().join("BENCH_skew.json");
+    std::fs::write(&path, json).expect("write JSON report");
+    println!("[wrote {}]", path.display());
 }

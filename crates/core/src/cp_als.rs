@@ -85,6 +85,7 @@ pub struct CpAls {
     nonnegative: bool,
     cache_tensor: bool,
     tensor_storage: StorageLevel,
+    kernel: KernelStrategy,
     init: Option<KruskalTensor>,
 }
 
@@ -105,6 +106,7 @@ impl CpAls {
             nonnegative: false,
             cache_tensor: true,
             tensor_storage: StorageLevel::MemoryRaw,
+            kernel: KernelStrategy::default(),
             init: None,
         }
     }
@@ -179,6 +181,16 @@ impl CpAls {
     /// the spill traffic.
     pub fn tensor_storage(mut self, level: StorageLevel) -> Self {
         self.tensor_storage = level;
+        self
+    }
+
+    /// Selects the task kernel for every MTTKRP's hot loops (see
+    /// [`crate::mttkrp::MttkrpOptions::kernel`]). The default,
+    /// [`KernelStrategy::SortedRuns`], combines sorted key runs with
+    /// arena-backed rows; [`KernelStrategy::RecordAtATime`] is the legacy
+    /// hash-probe path. Every strategy yields bit-identical factors.
+    pub fn kernel(mut self, k: KernelStrategy) -> Self {
+        self.kernel = k;
         self
     }
 
@@ -311,6 +323,7 @@ impl CpAls {
                 QcooOptions {
                     co_partition_factors: co_factors,
                     storage: self.tensor_storage,
+                    kernel: self.kernel,
                 },
             )?),
             Strategy::Coo | Strategy::CooBroadcast => None,
@@ -326,6 +339,7 @@ impl CpAls {
                 let opts = MttkrpOptions {
                     partitions: Some(partitions),
                     co_partition_factors: co_factors,
+                    kernel: self.kernel,
                     ..MttkrpOptions::default()
                 };
                 let m = match (&self.strategy, qstate.as_mut()) {
@@ -821,6 +835,41 @@ mod tests {
                             x.to_bits(),
                             y.to_bits(),
                             "{strategy}/{level} diverged from the shuffled path"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_strategies_are_bit_identical() {
+        // The kernel only changes how each task combines (sorted runs,
+        // arena rows, heavy-key chunking) — never the per-key operation
+        // order — so full CP-ALS trajectories must match bit for bit.
+        let t = RandomTensor::new(vec![9, 16, 16]).nnz(300).seed(55).build();
+        let run = |kernel: KernelStrategy, strategy: Strategy| {
+            let c = cluster();
+            CpAls::new(2)
+                .strategy(strategy)
+                .kernel(kernel)
+                .max_iterations(3)
+                .skip_fit()
+                .seed(17)
+                .run(&c, &t)
+                .unwrap()
+                .kruskal
+        };
+        for strategy in [Strategy::Coo, Strategy::Qcoo, Strategy::CooBroadcast] {
+            let baseline = run(KernelStrategy::RecordAtATime, strategy);
+            for kernel in [KernelStrategy::SortedRuns, KernelStrategy::split(0.1)] {
+                let got = run(kernel, strategy);
+                for (a, b) in baseline.factors.iter().zip(got.factors.iter()) {
+                    for (x, y) in a.data().iter().zip(b.data().iter()) {
+                        assert_eq!(
+                            x.to_bits(),
+                            y.to_bits(),
+                            "{strategy}/{kernel} diverged from record-at-a-time"
                         );
                     }
                 }

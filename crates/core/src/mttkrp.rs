@@ -45,8 +45,11 @@
 //! but nothing left for the scheduler to overlap.
 
 use crate::factors::{factor_to_rdd, rows_to_matrix};
-use crate::records::{add_rows, hadamard_rows, scale_row, CooRecord, Row};
+use crate::records::{
+    add_rows, hadamard_rows, hadamard_rows_pooled, row_kernel_ops, scale_row, CooRecord, Row,
+};
 use crate::{CstfError, Result};
+use cstf_dataflow::kernel::pool;
 use cstf_dataflow::prelude::*;
 use cstf_tensor::DenseMatrix;
 use std::sync::Arc;
@@ -64,6 +67,12 @@ pub struct MttkrpOptions {
     /// factor side of every join is narrow (no shuffle-map stage). On by
     /// default: it never changes results, only removes stages.
     pub co_partition_factors: bool,
+    /// Task kernel for the hot per-partition loops: the final
+    /// `reduceByKey` combine and the join-multiply row products. The
+    /// default [`KernelStrategy::SortedRuns`] walks stable-sorted key runs
+    /// with arena-backed rows — bit-identical to
+    /// [`KernelStrategy::RecordAtATime`], just faster.
+    pub kernel: KernelStrategy,
 }
 
 impl Default for MttkrpOptions {
@@ -72,6 +81,7 @@ impl Default for MttkrpOptions {
             partitions: None,
             map_side_combine: false,
             co_partition_factors: true,
+            kernel: KernelStrategy::default(),
         }
     }
 }
@@ -185,22 +195,37 @@ fn mttkrp_coo_keyed(
         .map(move |(_, (rec, row))| (rec.coord[next_key_mode], (rec, row)));
 
     // STAGES 2..N-1: join remaining factors, folding rows into the partial
-    // Hadamard product.
+    // Hadamard product. The pooled variant feeds consumed rows back into
+    // the kernel arena (same products, bit for bit).
+    let pooled = opts.kernel.is_sorted();
     for (idx, &m) in joins.iter().enumerate().skip(1) {
         let factor_rdd = factor_rdd_for(m);
         let next_key_mode = *joins.get(idx + 1).unwrap_or(&mode);
         state = state.join_by(&factor_rdd, partitioner.clone()).map(
             move |(_, ((rec, partial), row))| {
-                let combined = hadamard_rows(&partial, &row);
+                let combined = if pooled {
+                    hadamard_rows_pooled(partial, row)
+                } else {
+                    hadamard_rows(&partial, &row)
+                };
                 (rec.coord[next_key_mode], (rec, combined))
             },
         );
     }
 
     // STAGE N: scale by the tensor value and sum rows per output index.
+    // The sorted-runs kernel emits rows in index order instead of hash
+    // order — `rows_to_matrix` is index-addressed, so the assembled matrix
+    // is unchanged.
     let rows = state
         .map_values(|(rec, partial)| scale_row(partial, rec.val))
-        .reduce_by_key_with(partitions, opts.map_side_combine, add_rows)
+        .reduce_by_key_kernel(
+            partitions,
+            opts.map_side_combine,
+            opts.kernel,
+            add_rows,
+            row_kernel_ops(),
+        )
         .collect();
 
     Ok(rows_to_matrix(rows, shape[mode] as usize, rank))
@@ -240,19 +265,35 @@ pub fn mttkrp_coo_broadcast(
         factors: non_target,
     });
 
+    let pooled = opts.kernel.is_sorted();
     let rows = tensor
         .map(move |rec| {
             let set = bcast.value();
-            let mut acc: Vec<f64> = vec![rec.val; rank];
+            // The arena-backed accumulator is filled with `rec.val` before
+            // the in-order multiplies — same op sequence as the allocating
+            // `vec![rec.val; rank]` path.
+            let mut acc: Row = if pooled {
+                let mut a = pool::take_row(rank);
+                a.fill(rec.val);
+                a
+            } else {
+                vec![rec.val; rank].into_boxed_slice()
+            };
             for (&m, f) in set.modes.iter().zip(&set.factors) {
                 let row = f.row(rec.coord[m] as usize);
                 for (a, &x) in acc.iter_mut().zip(row) {
                     *a *= x;
                 }
             }
-            (rec.coord[mode], acc.into_boxed_slice())
+            (rec.coord[mode], acc)
         })
-        .reduce_by_key_with(partitions, opts.map_side_combine, add_rows)
+        .reduce_by_key_kernel(
+            partitions,
+            opts.map_side_combine,
+            opts.kernel,
+            add_rows,
+            row_kernel_ops(),
+        )
         .collect();
     Ok(rows_to_matrix(rows, shape[mode] as usize, rank))
 }
@@ -458,6 +499,54 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits(), "row {i}");
             }
         }
+    }
+
+    #[test]
+    fn kernel_strategies_bit_identical_and_counted() {
+        let t = RandomTensor::new(vec![6, 30, 30]).nnz(400).seed(33).build();
+        let c = cluster();
+        let rdd = tensor_to_rdd(&c, &t, 8).persist(StorageLevel::MemoryRaw);
+        let _ = rdd.count();
+        let factors = random_factors(t.shape(), 3, 34);
+        let run = |kernel: KernelStrategy| {
+            c.metrics().reset();
+            let out = mttkrp_coo(
+                &c,
+                &rdd,
+                &factors,
+                t.shape(),
+                0,
+                &MttkrpOptions {
+                    kernel,
+                    ..MttkrpOptions::default()
+                },
+            )
+            .unwrap();
+            (out, c.metrics().snapshot())
+        };
+        let (legacy, legacy_m) = run(KernelStrategy::RecordAtATime);
+        let (sorted, sorted_m) = run(KernelStrategy::SortedRuns);
+        let (split, split_m) = run(KernelStrategy::split(0.05));
+        for mode_out in [&sorted, &split] {
+            for i in 0..legacy.rows() {
+                for (a, b) in legacy.row(i).iter().zip(mode_out.row(i)) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "row {i}");
+                }
+            }
+        }
+        // Kernel counters appear only on kernel runs; mode 0 has 6
+        // distinct output indices.
+        assert_eq!(legacy_m.total_kernel_runs(), 0);
+        assert_eq!(sorted_m.total_kernel_runs(), 6);
+        assert!(sorted_m.total_arena_hits() > 0, "arena never reused");
+        // Splitting bounds the largest combine chunk below the unsplit one.
+        assert!(split_m.total_kernel_split_keys() > 0);
+        assert!(
+            split_m.max_kernel_subtask_records() <= sorted_m.max_kernel_subtask_records(),
+            "split {} vs unsplit {}",
+            split_m.max_kernel_subtask_records(),
+            sorted_m.max_kernel_subtask_records()
+        );
     }
 
     #[test]

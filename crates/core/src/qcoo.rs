@@ -26,8 +26,9 @@
 //! experiment shows ratio 1.0, against COO's strict improvement).
 
 use crate::factors::{factor_to_rdd, rows_to_matrix};
-use crate::records::{add_rows, CooRecord, QRecord};
+use crate::records::{add_rows, row_kernel_ops, CooRecord, QRecord};
 use crate::{CstfError, Result};
+use cstf_dataflow::kernel::pool;
 use cstf_dataflow::prelude::*;
 use cstf_tensor::DenseMatrix;
 use std::sync::Arc;
@@ -44,6 +45,10 @@ pub struct QcooOptions {
     /// let the queue (the `(N−1)·nnz·R` payload, QCOO's dominant resident
     /// cost) run under a memory budget smaller than the working set.
     pub storage: StorageLevel,
+    /// Task kernel for the per-step hot loops (queue rotation, queue
+    /// reduction, and the final `reduceByKey` combine). See
+    /// [`crate::mttkrp::MttkrpOptions::kernel`].
+    pub kernel: KernelStrategy,
 }
 
 impl Default for QcooOptions {
@@ -51,6 +56,7 @@ impl Default for QcooOptions {
         QcooOptions {
             co_partition_factors: true,
             storage: StorageLevel::MemoryRaw,
+            kernel: KernelStrategy::default(),
         }
     }
 }
@@ -81,6 +87,8 @@ pub struct QcooState {
     co_partition_factors: bool,
     /// Storage level applied to each rotated state RDD.
     storage: StorageLevel,
+    /// Task kernel for the step's hot loops and final combine.
+    kernel: KernelStrategy,
 }
 
 impl QcooState {
@@ -108,7 +116,7 @@ impl QcooState {
     }
 
     /// [`QcooState::init`] with explicit [`QcooOptions`] (factor
-    /// co-partitioning, queue storage level).
+    /// co-partitioning, queue storage level, task kernel).
     #[allow(clippy::too_many_arguments)]
     pub fn init_with(
         cluster: &Cluster,
@@ -167,6 +175,7 @@ impl QcooState {
             checkpoint_interval: 8,
             co_partition_factors: opts.co_partition_factors,
             storage: opts.storage,
+            kernel: opts.kernel,
         })
     }
 
@@ -234,12 +243,18 @@ impl QcooState {
             self.co_partition_factors.then_some(&pref),
         );
         // STAGE 1 (join) + STAGE 2 (rotate & re-key) — one shuffle (the
-        // factor side is narrow when co-partitioned).
+        // factor side is narrow when co-partitioned). The pooled rotation
+        // recycles each dequeued stale row into the kernel arena.
+        let pooled = self.kernel.is_sorted();
         let rotated_raw =
             self.state
                 .join_by(&factor_rdd, partitioner)
                 .map(move |(_, (mut q, row))| {
-                    q.rotate(row, capacity);
+                    if pooled {
+                        q.rotate_pooled(row, capacity);
+                    } else {
+                        q.rotate(row, capacity);
+                    }
                     (q.entry.coord[out_mode], q)
                 });
         // Periodic lineage truncation; otherwise persistence at the
@@ -254,10 +269,28 @@ impl QcooState {
 
         // STAGE 3: reduce queues and sum per output row — second shuffle.
         // Running this action also materializes (and caches) `rotated`.
+        // The pooled reduction draws its output row from the arena and
+        // recycles the (owned clone of the) queue's rows after reducing.
         let rank = self.rank;
         let rows = rotated
-            .map_values(move |q| q.reduce_queue(rank))
-            .reduce_by_key_with(self.partitions, false, add_rows)
+            .map_values(move |mut q| {
+                if pooled {
+                    let out = q.reduce_queue_pooled(rank);
+                    for row in q.queue.drain(..) {
+                        pool::give_row(row);
+                    }
+                    out
+                } else {
+                    q.reduce_queue(rank)
+                }
+            })
+            .reduce_by_key_kernel(
+                self.partitions,
+                false,
+                self.kernel,
+                add_rows,
+                row_kernel_ops(),
+            )
             .collect();
         let m = rows_to_matrix(rows, self.shape[out_mode] as usize, self.rank);
 
@@ -467,6 +500,69 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits(), "row {i}");
             }
         }
+    }
+
+    #[test]
+    fn kernel_strategies_bit_identical_over_full_cycle() {
+        // The sorted-runs kernel (pooled rotation/reduction + sorted-run
+        // combine, with and without heavy-key splitting) must reproduce the
+        // record-at-a-time step outputs bit for bit across a full mode
+        // cycle, because the per-key operation sequence is unchanged.
+        let t = RandomTensor::new(vec![8, 20, 20]).nnz(350).seed(41).build();
+        let c = cluster();
+        let rdd = tensor_to_rdd(&c, &t, 8).persist(StorageLevel::MemoryRaw);
+        let _ = rdd.count();
+        let factors = random_factors(t.shape(), 3, 42);
+
+        let run = |kernel: KernelStrategy| {
+            let opts = QcooOptions {
+                kernel,
+                ..QcooOptions::default()
+            };
+            let mut q = QcooState::init_with(&c, &rdd, &factors, t.shape(), 3, 16, opts).unwrap();
+            c.metrics().reset();
+            let mut out = Vec::new();
+            for _ in 0..t.order() {
+                let (_, m) = q.step(&factors[q.next_join_mode()]).unwrap();
+                out.push(m);
+            }
+            let snap = c.metrics().snapshot();
+            q.release();
+            (out, snap)
+        };
+
+        let (legacy, legacy_m) = run(KernelStrategy::RecordAtATime);
+        let (sorted, sorted_m) = run(KernelStrategy::SortedRuns);
+        let (split, split_m) = run(KernelStrategy::split(0.05));
+
+        for (step, (a, b)) in legacy.iter().zip(sorted.iter()).enumerate() {
+            for i in 0..a.rows() {
+                for (x, y) in a.row(i).iter().zip(b.row(i)) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "step {step} row {i}");
+                }
+            }
+        }
+        for (a, b) in legacy.iter().zip(split.iter()) {
+            for i in 0..a.rows() {
+                for (x, y) in a.row(i).iter().zip(b.row(i)) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
+
+        assert_eq!(legacy_m.total_kernel_runs(), 0);
+        // One kernel reduce per step; its runs = distinct output-mode
+        // indices that actually occur among the nonzeros.
+        let distinct: u64 = (0..t.order())
+            .map(|mode| {
+                let set: std::collections::BTreeSet<u32> =
+                    t.iter().map(|(coord, _)| coord[mode]).collect();
+                set.len() as u64
+            })
+            .sum();
+        assert_eq!(sorted_m.total_kernel_runs(), distinct);
+        assert!(sorted_m.total_arena_hits() > 0, "pooled rows never reused");
+        assert!(split_m.total_kernel_subtasks() >= sorted_m.total_kernel_subtasks());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! | `X_Q`   | `((i, j, k, X(i,j,k)), Queue(A(i,:), B(j,:), …))`            | [`QRecord`] |
 //! | `A,B,C` | `IndexedRowMatrix` row: `(index, A(index,:))`                | `(u32, Row)` |
 
+use cstf_dataflow::kernel::pool;
 use cstf_dataflow::prelude::*;
 use std::collections::VecDeque;
 
@@ -73,6 +74,17 @@ impl QRecord {
         }
     }
 
+    /// [`QRecord::rotate`] with stale rows recycled into the kernel row
+    /// arena instead of freed. Queue contents end up identical.
+    pub fn rotate_pooled(&mut self, row: Row, capacity: usize) {
+        self.queue.push_back(row);
+        while self.queue.len() > capacity {
+            if let Some(stale) = self.queue.pop_front() {
+                pool::give_row(stale);
+            }
+        }
+    }
+
     /// Reduces the queue: Hadamard product of all queued rows scaled by the
     /// tensor value — the `mapValues` of STAGE 3 in Table 2
     /// (`B(j,:) ∗ C(k,:) ∗ X(i,j,k)`).
@@ -86,6 +98,21 @@ impl QRecord {
         }
         acc.into_boxed_slice()
     }
+
+    /// [`QRecord::reduce_queue`] with the output row taken from the kernel
+    /// row arena: `fill(val)` then the same in-order multiplies, so the
+    /// result is bit-identical to the allocating variant.
+    pub fn reduce_queue_pooled(&self, rank: usize) -> Row {
+        let mut acc = pool::take_row(rank);
+        acc.fill(self.entry.val);
+        for row in &self.queue {
+            debug_assert_eq!(row.len(), rank);
+            for (a, &r) in acc.iter_mut().zip(row.iter()) {
+                *a *= r;
+            }
+        }
+        acc
+    }
 }
 
 impl EstimateSize for QRecord {
@@ -98,6 +125,40 @@ impl EstimateSize for QRecord {
 pub fn hadamard_rows(a: &[f64], b: &[f64]) -> Row {
     debug_assert_eq!(a.len(), b.len());
     a.iter().zip(b).map(|(x, y)| x * y).collect()
+}
+
+/// [`hadamard_rows`] through the kernel row arena: the output buffer comes
+/// from the pool (fully overwritten, so stale contents never leak) and both
+/// consumed inputs are recycled into it. Bit-identical to the allocating
+/// variant.
+pub fn hadamard_rows_pooled(a: Row, b: Row) -> Row {
+    debug_assert_eq!(a.len(), b.len());
+    let mut out = pool::take_row(a.len());
+    for ((o, &x), &y) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
+        *o = x * y;
+    }
+    pool::give_row(a);
+    pool::give_row(b);
+    out
+}
+
+/// [`cstf_dataflow::kernel::KernelOps`] for `Row` accumulation with
+/// [`add_rows`] semantics: an arena-backed accumulator seed (bitwise copy
+/// of the run's first row), the same in-place element-wise add, and pool
+/// recycling of rows consumed by owned combines.
+pub fn row_kernel_ops() -> KernelOps<Row> {
+    KernelOps::new(|acc: &mut Row, b: &Row| {
+        debug_assert_eq!(acc.len(), b.len());
+        for (x, y) in acc.iter_mut().zip(b.iter()) {
+            *x += y;
+        }
+    })
+    .with_lift(|r: &Row| {
+        let mut out = pool::take_row(r.len());
+        out.copy_from_slice(r);
+        out
+    })
+    .with_recycle(pool::give_row)
 }
 
 /// Element-wise sum of two rows (the `reduceByKey` combiner).
@@ -184,6 +245,30 @@ mod tests {
         q.rotate(vec![0.0; r].into_boxed_slice(), 2);
         let row_bytes = 4 + 8 * r;
         assert_eq!(q.estimate_size(), 24 + 4 + 2 * row_bytes);
+    }
+
+    #[test]
+    fn pooled_variants_bit_identical() {
+        let a: Row = vec![1.25, -2.5e7].into_boxed_slice();
+        let b: Row = vec![3.5, 4.75e-3].into_boxed_slice();
+        let plain = hadamard_rows(&a, &b);
+        let pooled = hadamard_rows_pooled(a.clone(), b.clone());
+        for (x, y) in plain.iter().zip(pooled.iter()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+
+        let mut q = QRecord::new(rec());
+        let mut qp = QRecord::new(rec());
+        for v in [3.0, 5.0, 7.0] {
+            q.rotate(vec![v, v + 0.5].into_boxed_slice(), 2);
+            qp.rotate_pooled(vec![v, v + 0.5].into_boxed_slice(), 2);
+        }
+        assert_eq!(q.queue, qp.queue);
+        let plain = q.reduce_queue(2);
+        let pooled = q.reduce_queue_pooled(2);
+        for (x, y) in plain.iter().zip(pooled.iter()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 
     #[test]

@@ -47,6 +47,11 @@ pub(crate) fn run_attempt<O>(
         _ => {}
     }
     let sink = StageCollector::attempt_sink(cluster.config().nodes);
+    // Arena attribution: each attempt runs entirely on this worker thread,
+    // so the delta in the thread-local pool-hit counter across `body` is
+    // exactly this attempt's row reuse. Writing it into the attempt sink
+    // keeps it retry-invariant — losing attempts' sinks are dropped.
+    let arena_hits_before = crate::kernel::pool::thread_hits();
     let t0 = Instant::now();
     let (value, records) = {
         let ctx = TaskContext {
@@ -57,6 +62,7 @@ pub(crate) fn run_attempt<O>(
         body(&ctx)
     };
     let cpu_secs = t0.elapsed().as_secs_f64();
+    sink.add_arena_hits(crate::kernel::pool::thread_hits() - arena_hits_before);
     if let Some(InjectedFault::LateCrash) = fault {
         return Err(format!(
             "injected late crash (stage {stage_id}, partition {partition}, attempt {attempt})"

@@ -8,6 +8,7 @@
 //! are measured and feed the [`crate::sim::TimeModel`].
 
 use crate::executor::RunStats;
+use crate::kernel::KernelCounters;
 use parking_lot::Mutex;
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -133,6 +134,21 @@ pub struct StageMetrics {
     /// and losing speculative duplicates); priced as recovery cost by the
     /// [`crate::sim::TimeModel`].
     pub wasted_task_secs: f64,
+    /// Sorted-runs kernel: contiguous key runs combined (= distinct keys
+    /// the kernel reduced). Zero on record-at-a-time stages.
+    pub kernel_runs: u64,
+    /// Sorted-runs kernel: heavy keys split across subtask chunks.
+    pub kernel_split_keys: u64,
+    /// Sorted-runs kernel: subtask chunks the combines were metered into
+    /// (one per kernel invocation without splitting).
+    pub kernel_subtasks: u64,
+    /// Sorted-runs kernel: records in the largest single subtask chunk —
+    /// the straggler bound heavy-key splitting enforces (max over tasks).
+    pub kernel_max_subtask_records: u64,
+    /// Row-arena hits inside this stage's winning task attempts: row
+    /// buffers reused from the [`crate::kernel::pool`] instead of
+    /// allocated.
+    pub kernel_arena_hits: u64,
 }
 
 impl StageMetrics {
@@ -158,6 +174,11 @@ impl StageMetrics {
             speculative_launched: 0,
             speculative_won: 0,
             wasted_task_secs: 0.0,
+            kernel_runs: 0,
+            kernel_split_keys: 0,
+            kernel_subtasks: 0,
+            kernel_max_subtask_records: 0,
+            kernel_arena_hits: 0,
         }
     }
 
@@ -217,6 +238,13 @@ impl StageCollector {
         m.remote_bytes_read += s.remote_bytes_read;
         m.local_bytes_read += s.local_bytes_read;
         m.shuffle_read_records += s.shuffle_read_records;
+        m.kernel_runs += s.kernel_runs;
+        m.kernel_split_keys += s.kernel_split_keys;
+        m.kernel_subtasks += s.kernel_subtasks;
+        m.kernel_max_subtask_records = m
+            .kernel_max_subtask_records
+            .max(s.kernel_max_subtask_records);
+        m.kernel_arena_hits += s.kernel_arena_hits;
     }
 
     /// Records the recovery statistics of the stage's executor batch.
@@ -262,6 +290,23 @@ impl StageCollector {
         m.shuffle_read_records += records;
     }
 
+    /// Records one sorted-runs kernel invocation's counters.
+    pub fn add_kernel(&self, counters: &KernelCounters) {
+        let mut m = self.inner.lock();
+        m.kernel_runs += counters.runs;
+        m.kernel_split_keys += counters.split_keys;
+        m.kernel_subtasks += counters.subtasks;
+        m.kernel_max_subtask_records = m
+            .kernel_max_subtask_records
+            .max(counters.max_subtask_records);
+    }
+
+    /// Records row-arena reuse hits (buffers taken from the pool instead
+    /// of allocated) attributed to this attempt.
+    pub fn add_arena_hits(&self, hits: u64) {
+        self.inner.lock().kernel_arena_hits += hits;
+    }
+
     fn finish(self) -> StageMetrics {
         self.inner.into_inner()
     }
@@ -270,8 +315,9 @@ impl StageCollector {
 /// One event in a job's execution log.
 #[derive(Debug, Clone, Serialize)]
 pub enum Event {
-    /// A stage executed.
-    Stage(StageMetrics),
+    /// A stage executed. Boxed: a `StageMetrics` is an order of magnitude
+    /// larger than any other variant, and logs hold many mixed events.
+    Stage(Box<StageMetrics>),
     /// The driver declared bytes read from distributed storage (models
     /// HDFS input for the Hadoop platform profile).
     DiskRead {
@@ -383,7 +429,7 @@ impl JobMetrics {
     /// All executed stages, in order.
     pub fn stages(&self) -> impl Iterator<Item = &StageMetrics> + '_ {
         self.events.iter().filter_map(|e| match e {
-            Event::Stage(s) => Some(s),
+            Event::Stage(s) => Some(s.as_ref()),
             _ => None,
         })
     }
@@ -564,6 +610,34 @@ impl JobMetrics {
     /// Total seconds burned by discarded attempts across all stages.
     pub fn total_wasted_task_secs(&self) -> f64 {
         self.stages().map(|s| s.wasted_task_secs).sum()
+    }
+
+    /// Total sorted-runs kernel key runs combined across all stages.
+    pub fn total_kernel_runs(&self) -> u64 {
+        self.stages().map(|s| s.kernel_runs).sum()
+    }
+
+    /// Total heavy keys split by the kernel across all stages.
+    pub fn total_kernel_split_keys(&self) -> u64 {
+        self.stages().map(|s| s.kernel_split_keys).sum()
+    }
+
+    /// Total kernel subtask chunks across all stages.
+    pub fn total_kernel_subtasks(&self) -> u64 {
+        self.stages().map(|s| s.kernel_subtasks).sum()
+    }
+
+    /// Total row-arena reuse hits across all stages.
+    pub fn total_arena_hits(&self) -> u64 {
+        self.stages().map(|s| s.kernel_arena_hits).sum()
+    }
+
+    /// Largest single kernel subtask chunk observed in any stage.
+    pub fn max_kernel_subtask_records(&self) -> u64 {
+        self.stages()
+            .map(|s| s.kernel_max_subtask_records)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total bytes the budget enforcer removed from memory.
@@ -865,6 +939,17 @@ impl JobMetrics {
             self.total_speculative_won(),
             self.total_wasted_task_secs(),
         );
+        if self.total_kernel_runs() > 0 || self.total_arena_hits() > 0 {
+            let _ = writeln!(
+                out,
+                "KERNEL {} runs | {} split keys | {} subtasks (max {} records) | {} arena hits",
+                self.total_kernel_runs(),
+                self.total_kernel_split_keys(),
+                self.total_kernel_subtasks(),
+                self.max_kernel_subtask_records(),
+                self.total_arena_hits(),
+            );
+        }
         let _ = writeln!(
             out,
             "STORAGE {} evictions ({} B) | {} B spilled | {} B spill-read | {} recomputes",
@@ -1028,7 +1113,9 @@ impl MetricsRegistry {
 
     /// Appends a finished stage to the log.
     pub(crate) fn finish_stage(&self, collector: StageCollector) {
-        self.events.lock().push(Event::Stage(collector.finish()));
+        self.events
+            .lock()
+            .push(Event::Stage(Box::new(collector.finish())));
     }
 
     /// Records the lifecycle of a finished job-server job.
@@ -1245,6 +1332,13 @@ mod tests {
         winner.add_records_computed(10);
         winner.add_shuffle_write(5, 40);
         winner.add_shuffle_read(7, 3, 5);
+        winner.add_kernel(&KernelCounters {
+            runs: 4,
+            split_keys: 1,
+            subtasks: 3,
+            max_subtask_records: 9,
+        });
+        winner.add_arena_hits(6);
         c.absorb(winner);
         // Failed attempt's sink: dropped, never absorbed.
         let loser = StageCollector::attempt_sink(2);
@@ -1261,6 +1355,15 @@ mod tests {
         assert_eq!(s.remote_bytes_read, 7);
         assert_eq!(s.local_bytes_read, 3);
         assert_eq!(s.shuffle_read_records, 5);
+        assert_eq!(s.kernel_runs, 4);
+        assert_eq!(s.kernel_split_keys, 1);
+        assert_eq!(s.kernel_subtasks, 3);
+        assert_eq!(s.kernel_max_subtask_records, 9);
+        assert_eq!(s.kernel_arena_hits, 6);
+        assert_eq!(m.total_kernel_runs(), 4);
+        assert_eq!(m.max_kernel_subtask_records(), 9);
+        assert_eq!(m.total_arena_hits(), 6);
+        assert!(m.render_report().contains("KERNEL 4 runs | 1 split keys"));
     }
 
     #[test]

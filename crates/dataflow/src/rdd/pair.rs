@@ -24,6 +24,7 @@
 use super::{next_node_id, Dependency, NodeInfo, Rdd, RddNode, ShuffleDependency};
 use crate::context::{Cluster, TaskContext};
 use crate::hash::FxHashMap;
+use crate::kernel::{self, KernelOps, KernelPlan, KernelStrategy};
 use crate::partitioner::{HashPartitioner, KeyPartitioner, PartitionerRef, RangePartitioner};
 use crate::size::EstimateSize;
 use crate::{Data, Key};
@@ -90,6 +91,11 @@ pub struct ShuffleDep<K: Key, V: Data, C: Data> {
     partitioner: Arc<dyn KeyPartitioner<K>>,
     aggregator: Aggregator<V, C>,
     map_side_combine: bool,
+    /// Sorted-runs kernel for this shuffle's combines (`None` runs the
+    /// legacy record-at-a-time hash-map path). Only set by
+    /// [`Rdd::reduce_by_key_kernel`], whose callers must tolerate sorted
+    /// (instead of hash-order) key emission.
+    kernel: Option<Arc<KernelPlan<K, C>>>,
     /// Cleanup handle: when the last reference to this dependency drops
     /// (its RDDs went out of scope), the shuffle's stored data is freed —
     /// the engine's ContextCleaner. Lineage that still needs the data
@@ -124,15 +130,36 @@ where
             partitioner,
             aggregator,
             map_side_combine,
+            kernel: None,
             service: cluster.shuffle_service_arc(),
         }
     }
 
     /// Buckets one map partition's records by reduce partition, combining
     /// map-side when configured. Runs inside a (retryable) executor task.
-    fn bucket(&self, data: Vec<(K, V)>) -> (Vec<Vec<(K, C)>>, Vec<u64>) {
+    fn bucket(&self, data: Vec<(K, V)>, ctx: &TaskContext<'_>) -> (Vec<Vec<(K, C)>>, Vec<u64>) {
         let num_reduce = self.partitioner.partition_count();
-        let buckets: Vec<Vec<(K, C)>> = if self.map_side_combine {
+        let kernel_plan = self.kernel.as_ref().filter(|_| self.map_side_combine);
+        let buckets: Vec<Vec<(K, C)>> = if let Some(plan) = kernel_plan {
+            // Sorted-runs map-side combine: partition records into per-
+            // reduce vectors of combiners, then combine each vector over
+            // sorted runs. Per key and bucket, values fold in data scan
+            // order — exactly the op sequence of the hash-map path — only
+            // the bucket's emit order changes (sorted, not hash order).
+            let mut raw: Vec<Vec<(K, C)>> = (0..num_reduce).map(|_| Vec::new()).collect();
+            for (k, v) in data {
+                let b = self.partitioner.partition_of(&k);
+                let c = (self.aggregator.create)(v);
+                raw[b].push((k, c));
+            }
+            raw.into_iter()
+                .map(|bucket| {
+                    let (combined, counters) = kernel::combine_owned(plan, bucket);
+                    ctx.stage.add_kernel(&counters);
+                    combined
+                })
+                .collect()
+        } else if self.map_side_combine {
             // `Option<C>` slots let the entry API merge in place: each
             // record hashes exactly once instead of the remove-then-insert
             // double lookup.
@@ -173,9 +200,14 @@ where
         (buckets, bucket_bytes)
     }
 
-    /// Fetches one reduce partition's records, attributing bytes to
+    /// Fetches one reduce partition's buckets — still shared with the
+    /// shuffle service, in map-partition order — attributing bytes to
     /// remote/local reads based on simulated node placement.
-    fn read(&self, reduce_partition: usize, ctx: &TaskContext<'_>) -> Vec<(K, C)> {
+    fn read_buckets(
+        &self,
+        reduce_partition: usize,
+        ctx: &TaskContext<'_>,
+    ) -> Vec<Arc<Vec<(K, C)>>> {
         let fetched = ctx
             .cluster
             .shuffle_service()
@@ -185,7 +217,7 @@ where
         let mut remote = 0u64;
         let mut local = 0u64;
         let mut records = 0u64;
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(fetched.len());
         for bucket in fetched {
             if config.node_of(bucket.map_partition) == my_node {
                 local += bucket.bytes;
@@ -193,11 +225,24 @@ where
                 remote += bucket.bytes;
             }
             records += bucket.records.len() as u64;
-            // Buckets are shared (`Arc`) with the shuffle service; copy
-            // records outside the service lock.
-            out.extend(bucket.records.iter().cloned());
+            out.push(bucket.records);
         }
         ctx.stage.add_shuffle_read(remote, local, records);
+        out
+    }
+
+    /// Fetches one reduce partition's records as owned copies (the
+    /// record-at-a-time path; the sorted kernel combines straight out of
+    /// the shared buckets instead).
+    fn read(&self, reduce_partition: usize, ctx: &TaskContext<'_>) -> Vec<(K, C)> {
+        let buckets = self.read_buckets(reduce_partition, ctx);
+        let total: usize = buckets.iter().map(|b| b.len()).sum();
+        let mut out = Vec::with_capacity(total);
+        for bucket in &buckets {
+            // Buckets are shared (`Arc`) with the shuffle service; copy
+            // records outside the service lock.
+            out.extend(bucket.iter().cloned());
+        }
         out
     }
 }
@@ -245,7 +290,7 @@ where
             compute: Box::new(move |map_partition, ctx| {
                 let data = self.parent.compute(map_partition, ctx);
                 let records = data.len() as u64;
-                let out = self.bucket(data);
+                let out = self.bucket(data, ctx);
                 (Box::new(out) as crate::scheduler::StageOutput, records)
             }),
             commit: Box::new(move |map_partition, out, stage| {
@@ -306,6 +351,18 @@ where
     C: Data + EstimateSize,
 {
     fn compute(&self, partition: usize, ctx: &TaskContext<'_>) -> Vec<(K, C)> {
+        if self.reduce_side_combine {
+            if let Some(plan) = &self.dep.kernel {
+                // Sorted-runs kernel: combine straight out of the shared
+                // buckets — one accumulator allocation per distinct key,
+                // no per-record clone-out.
+                let buckets = self.dep.read_buckets(partition, ctx);
+                let (out, counters) = kernel::combine_fetched(plan, &buckets);
+                ctx.stage.add_kernel(&counters);
+                ctx.stage.add_records_computed(out.len() as u64);
+                return out;
+            }
+        }
         let raw = self.dep.read(partition, ctx);
         if !self.reduce_side_combine {
             ctx.stage.add_records_computed(raw.len() as u64);
@@ -424,6 +481,8 @@ struct NarrowCombinedRdd<K: Key, V: Data, C: Data> {
     name: String,
     parent: Arc<dyn RddNode<(K, V)>>,
     aggregator: Aggregator<V, C>,
+    /// Sorted-runs kernel for the local combine (see [`ShuffleDep`]).
+    kernel: Option<Arc<KernelPlan<K, C>>>,
     partitions: usize,
 }
 
@@ -455,6 +514,18 @@ where
 {
     fn compute(&self, partition: usize, ctx: &TaskContext<'_>) -> Vec<(K, C)> {
         let raw = self.parent.compute(partition, ctx);
+        if let Some(plan) = &self.kernel {
+            // Sorted-runs local combine: create each value's combiner in
+            // scan order, then fold contiguous runs.
+            let created: Vec<(K, C)> = raw
+                .into_iter()
+                .map(|(k, v)| (k, (self.aggregator.create)(v)))
+                .collect();
+            let (out, counters) = kernel::combine_owned(plan, created);
+            ctx.stage.add_kernel(&counters);
+            ctx.stage.add_records_computed(out.len() as u64);
+            return out;
+        }
         let mut merged: FxHashMap<K, Option<C>> = FxHashMap::default();
         for (k, v) in raw {
             match merged.entry(k) {
@@ -566,7 +637,55 @@ where
         map_side_combine: bool,
         f: impl Fn(V, V) -> V + Send + Sync + 'static,
     ) -> Rdd<(K, V)> {
-        let agg = Aggregator::from_reduce(f);
+        self.reduce_by_key_impl(
+            partitions,
+            map_side_combine,
+            Aggregator::from_reduce(f),
+            None,
+        )
+    }
+
+    /// `reduceByKey` running the sorted-runs task kernel (see
+    /// [`crate::kernel`]): combines walk contiguous key runs of a
+    /// stable-sorted SoA tile instead of probing a hash map per record,
+    /// and — with [`KernelStrategy::SortedRunsSplit`] — heavy keys are
+    /// metered into bounded subtask chunks.
+    ///
+    /// `ops.merge_in_place` must perform exactly the operations of
+    /// `f(acc, v)`, in the same order; the kernel then reproduces the
+    /// record-at-a-time within-key accumulation bit for bit. The output
+    /// holds the same records, but emitted in ascending key order rather
+    /// than hash order — callers must consume it order-insensitively.
+    /// [`KernelStrategy::RecordAtATime`] falls back to the legacy path.
+    pub fn reduce_by_key_kernel(
+        &self,
+        partitions: usize,
+        map_side_combine: bool,
+        strategy: KernelStrategy,
+        f: impl Fn(V, V) -> V + Send + Sync + 'static,
+        ops: KernelOps<V>,
+    ) -> Rdd<(K, V)>
+    where
+        K: Ord,
+    {
+        let kernel = strategy
+            .is_sorted()
+            .then(|| Arc::new(KernelPlan::new(strategy, ops)));
+        self.reduce_by_key_impl(
+            partitions,
+            map_side_combine,
+            Aggregator::from_reduce(f),
+            kernel,
+        )
+    }
+
+    fn reduce_by_key_impl(
+        &self,
+        partitions: usize,
+        map_side_combine: bool,
+        agg: Aggregator<V, V>,
+        kernel: Option<Arc<KernelPlan<K, V>>>,
+    ) -> Rdd<(K, V)> {
         let partitioner: Arc<dyn KeyPartitioner<K>> = Arc::new(HashPartitioner::new(partitions));
         if self.co_partitioned_with(partitioner.as_ref()) {
             self.cluster
@@ -579,25 +698,27 @@ where
                     name: "reduce_by_key(narrow)".into(),
                     parent: self.node.clone(),
                     aggregator: agg,
+                    kernel,
                     partitions,
                 }),
             )
             .with_partitioner(Some(PartitionerRef::of(partitioner)));
         }
-        let dep = Arc::new(ShuffleDep::new(
+        let mut dep = ShuffleDep::new(
             &self.cluster,
             "reduce_by_key",
             self.node.clone(),
             partitioner.clone(),
             agg,
             map_side_combine,
-        ));
+        );
+        dep.kernel = kernel;
         Rdd::from_node(
             self.cluster.clone(),
             Arc::new(ShuffledRdd {
                 id: next_node_id(),
                 name: "reduce_by_key".into(),
-                dep,
+                dep: Arc::new(dep),
                 reduce_side_combine: true,
             }),
         )

@@ -9,10 +9,32 @@
 
 use std::fmt::Display;
 use std::hint;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Iterations per benchmark (upstream criterion samples adaptively).
 const ITERS: u32 = 10;
+
+/// Iterations per benchmark: [`ITERS`], or 1 when `CSTF_BENCH_QUICK` is
+/// set (the CI smoke configuration — one warm-up plus one timed run).
+fn iters() -> u32 {
+    if std::env::var_os("CSTF_BENCH_QUICK").is_some() {
+        1
+    } else {
+        ITERS
+    }
+}
+
+/// Mean wall-clock milliseconds per benchmark id, recorded by every
+/// [`Bencher`] report in this process. Drained by [`take_measurements`].
+static MEASUREMENTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+/// Drains the `(benchmark id, mean ms/iter)` pairs recorded so far, in
+/// run order. Lets harness binaries drive benchmarks through the normal
+/// [`Criterion`] API and harvest the timings programmatically.
+pub fn take_measurements() -> Vec<(String, f64)> {
+    std::mem::take(&mut MEASUREMENTS.lock().unwrap())
+}
 
 /// Top-level harness handle passed to every benchmark function.
 #[derive(Debug, Default)]
@@ -112,13 +134,14 @@ impl Bencher {
     /// Times `routine`, keeping its return value alive via `black_box`.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
         // One warm-up, then the timed runs.
+        let n = iters();
         hint::black_box(routine());
         let start = Instant::now();
-        for _ in 0..ITERS {
+        for _ in 0..n {
             hint::black_box(routine());
         }
         self.nanos += start.elapsed().as_nanos();
-        self.iters += ITERS;
+        self.iters += n;
     }
 
     fn report(&self, id: &str) {
@@ -127,6 +150,7 @@ impl Bencher {
         } else {
             let mean = self.nanos as f64 / self.iters as f64 / 1.0e6;
             println!("  {id}: {mean:.3} ms/iter ({} iters)", self.iters);
+            MEASUREMENTS.lock().unwrap().push((id.to_string(), mean));
         }
     }
 }
@@ -174,7 +198,13 @@ mod tests {
             b.iter(|| n * 2);
         });
         group.finish();
-        assert_eq!(calls, ITERS + 1);
+        assert_eq!(calls, iters() + 1);
         assert_eq!(BenchmarkId::new("f", 42).to_string(), "f/42");
+        // Both runs were recorded with their ids, in order.
+        let measured = take_measurements();
+        let ids: Vec<&str> = measured.iter().map(|(id, _)| id.as_str()).collect();
+        assert_eq!(ids, ["f", "g/3"]);
+        assert!(measured.iter().all(|&(_, ms)| ms >= 0.0));
+        assert!(take_measurements().is_empty(), "drain must consume");
     }
 }
