@@ -1,0 +1,167 @@
+//! Ablation: the DFacTo-SpMV MTTKRP strategy vs CSTF-COO and CSTF-QCOO.
+//!
+//! ```text
+//! cargo run --release -p cstf-bench --bin ablation_spmv -- \
+//!     [--scale 4000] [--nodes 8] [--iters 2] [--seed 0] [--tiny]
+//! ```
+//!
+//! DFacTo (*Distributed Factorization of Tensors*) computes MTTKRP as a
+//! chain of `N−1` sparse matrix–vector products: after the first
+//! contraction only one row per *fiber* survives, so of its `2(N−1)`
+//! shuffles per MTTKRP only the first two move nnz-sized data — the rest
+//! are fiber-sized (`F ≤ nnz`). This experiment runs full CP-ALS under
+//! all three strategies on the paper's third-order datasets plus a
+//! fourth-order synthetic (where the fiber saving compounds), and
+//! cross-checks the engine-measured shuffle traffic against the cost
+//! model: the generic `Σ`-over-modes communication bounds for COO/QCOO
+//! ([`cost::iteration_communication`]) and the exact per-mode
+//! [`cost::spmv_mttkrp_communication`] fed by the real fiber counts
+//! ([`cstf_tensor::spmv::fiber_counts`]). Results land in
+//! `results/BENCH_spmv.json`.
+//!
+//! `--tiny` shrinks every tensor to the CI smoke configuration.
+
+use cstf_bench::*;
+use cstf_core::cost;
+use cstf_core::Strategy;
+use cstf_tensor::datasets::THIRD_ORDER;
+use cstf_tensor::random::RandomTensor;
+use cstf_tensor::spmv::fiber_counts;
+use cstf_tensor::CooTensor;
+
+/// Cost-model elements shuffled per CP-ALS iteration: the §5 bounds for
+/// COO/QCOO, the exact fiber-count sum for SpMV.
+fn predicted_elements(strategy: Strategy, tensor: &CooTensor) -> u64 {
+    let order = tensor.order();
+    let nnz = tensor.nnz() as u64;
+    let rank = PAPER_RANK as u64;
+    match strategy {
+        Strategy::DfactoSpmv => (0..order)
+            .map(|mode| {
+                let fibers: Vec<u64> = fiber_counts(tensor, mode)
+                    .expect("valid mode")
+                    .into_iter()
+                    .map(|f| f as u64)
+                    .collect();
+                cost::spmv_mttkrp_communication(nnz, rank, &fibers)
+            })
+            .sum(),
+        _ => cost::iteration_communication(strategy.cost_algorithm(), order, nnz, rank),
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let scale: f64 = args.parse("scale", 4000.0);
+    let nodes: usize = args.parse("nodes", 8);
+    let iters: usize = args.parse("iters", DEFAULT_ITERATIONS);
+    let seed: u64 = args.parse("seed", 0);
+    let tiny = args.flag("tiny");
+    let spark = spark_model(scale);
+
+    let mut datasets: Vec<(String, CooTensor)> = THIRD_ORDER
+        .iter()
+        .map(|spec| {
+            let s = if tiny { scale.max(40_000.0) } else { scale };
+            (spec.name.to_string(), spec.generate(s, seed))
+        })
+        .collect();
+    let (shape4, nnz4) = if tiny {
+        (vec![14u32, 12, 10, 8], 700usize)
+    } else {
+        (vec![80u32, 60, 50, 40], 30_000usize)
+    };
+    datasets.push((
+        "synth4d".to_string(),
+        RandomTensor::new(shape4).nnz(nnz4).seed(seed).build(),
+    ));
+
+    let strategies = [Strategy::Coo, Strategy::Qcoo, Strategy::DfactoSpmv];
+    let mut json_datasets = Vec::new();
+    for (name, tensor) in &datasets {
+        println!(
+            "\n=== SpMV ablation: {} (shape {:?}, nnz {}), {} nodes ===",
+            name,
+            tensor.shape(),
+            tensor.nnz(),
+            nodes
+        );
+        let mut rows = Vec::new();
+        let mut json_strategies = Vec::new();
+        let mut bytes_by_strategy = Vec::new();
+        for strategy in strategies {
+            let (m, _) = run_cstf(tensor, strategy, nodes, iters, seed);
+            let shuffle_bytes: u64 = m
+                .shuffle_bytes_by_scope()
+                .into_iter()
+                .filter(|(s, _, _)| s.starts_with("MTTKRP"))
+                .map(|(_, r, l)| r + l)
+                .sum::<u64>()
+                / iters as u64;
+            let shuffles = m.shuffle_count() / iters;
+            let secs = per_iteration_secs_amortized(&spark, &m, iters);
+            let predicted = predicted_elements(strategy, tensor);
+            bytes_by_strategy.push((strategy, shuffle_bytes, secs));
+            rows.push(vec![
+                strategy.to_string(),
+                shuffles.to_string(),
+                format!("{:.2} MB", shuffle_bytes as f64 / 1e6),
+                format!("{:.2} M elems", predicted as f64 / 1e6),
+                format!("{secs:.1} s"),
+            ]);
+            json_strategies.push(format!(
+                concat!(
+                    "      {{\"strategy\": \"{}\", \"shuffles_per_iter\": {}, ",
+                    "\"shuffle_bytes_per_iter\": {}, ",
+                    "\"predicted_elements_per_iter\": {}, ",
+                    "\"modeled_secs_per_iter\": {:.6}}}"
+                ),
+                strategy, shuffles, shuffle_bytes, predicted, secs
+            ));
+        }
+        print_table(
+            &[
+                "strategy",
+                "shuffles/iter",
+                "shuffle bytes/iter",
+                "predicted elems/iter",
+                "modeled time/iter",
+            ],
+            &rows,
+        );
+        let coo_bytes = bytes_by_strategy[0].1;
+        let spmv_bytes = bytes_by_strategy[2].1;
+        println!(
+            "SpMV shuffle bytes vs COO: {:.2}x",
+            spmv_bytes as f64 / (coo_bytes as f64).max(1.0)
+        );
+        json_datasets.push(format!(
+            concat!(
+                "    {{\"dataset\": \"{}\", \"order\": {}, \"nnz\": {}, ",
+                "\"spmv_vs_coo_bytes\": {:.6}, \"strategies\": [\n{}\n    ]}}"
+            ),
+            name,
+            tensor.order(),
+            tensor.nnz(),
+            spmv_bytes as f64 / (coo_bytes as f64).max(1.0),
+            json_strategies.join(",\n")
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n  \"experiment\": \"ablation_spmv\",\n",
+            "  \"rank\": {},\n  \"nodes\": {},\n  \"iterations\": {},\n",
+            "  \"seed\": {},\n  \"tiny\": {},\n  \"datasets\": [\n{}\n  ]\n}}\n"
+        ),
+        PAPER_RANK,
+        nodes,
+        iters,
+        seed,
+        tiny,
+        json_datasets.join(",\n")
+    );
+    let path = results_dir().join("BENCH_spmv.json");
+    std::fs::write(&path, json).expect("write JSON report");
+    println!("\n[wrote {}]", path.display());
+}

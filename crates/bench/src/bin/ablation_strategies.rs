@@ -33,7 +33,12 @@ fn main() {
             nodes
         );
         let mut rows = Vec::new();
-        for strategy in [Strategy::Coo, Strategy::Qcoo, Strategy::CooBroadcast] {
+        for strategy in [
+            Strategy::Coo,
+            Strategy::Qcoo,
+            Strategy::CooBroadcast,
+            Strategy::DfactoSpmv,
+        ] {
             let (m, _) = run_cstf(&tensor, strategy, nodes, iters, seed);
             let shuffle_bytes: u64 = m
                 .shuffle_bytes_by_scope()

@@ -7,67 +7,15 @@
 //! factor is only computed once per CP-ALS iteration", §4.2); columns are
 //! normalized after every update with the norms kept as `λ`.
 
-use crate::factors::{tensor_to_rdd, tensor_to_rdd_keyed};
-use crate::mttkrp::{join_order, mttkrp_coo, mttkrp_coo_broadcast, mttkrp_coo_pre, MttkrpOptions};
-use crate::qcoo::{QcooOptions, QcooState};
-use crate::records::CooRecord;
+use crate::planner::{plan, PlanConfig};
 use crate::{CstfError, Result};
 use cstf_dataflow::prelude::*;
 use cstf_tensor::linalg::solve_normal_equations;
 use cstf_tensor::{CooTensor, DenseMatrix, KruskalTensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::Arc;
 
-/// Which distributed MTTKRP pipeline CP-ALS uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Strategy {
-    /// CSTF-COO: `N` shuffles per MTTKRP, minimal carried state.
-    Coo,
-    /// CSTF-QCOO: 2 shuffles per MTTKRP via queued factor rows.
-    Qcoo,
-    /// Broadcast-join COO (extension beyond the paper): factors are
-    /// broadcast, only the final reduce shuffles — 1 shuffle per MTTKRP.
-    CooBroadcast,
-}
-
-impl std::fmt::Display for Strategy {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Strategy::Coo => write!(f, "COO"),
-            Strategy::Qcoo => write!(f, "QCOO"),
-            Strategy::CooBroadcast => write!(f, "COO-broadcast"),
-        }
-    }
-}
-
-/// How aggressively CP-ALS exploits partitioner provenance to skip
-/// shuffles. Every level produces bit-identical factors; they differ only
-/// in how many shuffle-map stages each MTTKRP spawns.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Partitioning {
-    /// No partitioner awareness — every join shuffles both sides (the
-    /// paper's Table 4 accounting; kept for ablations).
-    None,
-    /// Factor-row RDDs are emitted pre-hashed by the join partitioner, so
-    /// the factor side of every join is narrow. Default.
-    CoPartitionedFactors,
-    /// Additionally keeps the tensor pre-partitioned by each first-join
-    /// mode, making stage 1 of every COO MTTKRP fully narrow. Only the
-    /// `Coo` strategy has a pre-partitioned hot path; other strategies
-    /// fall back to [`Partitioning::CoPartitionedFactors`].
-    PrePartitionedTensor,
-}
-
-impl std::fmt::Display for Partitioning {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Partitioning::None => write!(f, "none"),
-            Partitioning::CoPartitionedFactors => write!(f, "co-partitioned-factors"),
-            Partitioning::PrePartitionedTensor => write!(f, "pre-partitioned-tensor"),
-        }
-    }
-}
+pub use crate::planner::{Partitioning, Strategy};
 
 /// Configurable CP-ALS decomposition (builder style).
 ///
@@ -228,51 +176,10 @@ impl CpAls {
 
         cluster.metrics().set_scope("Other");
 
-        let co_factors = self.partitioning != Partitioning::None;
-        // The pre-partitioned hot path only exists for the COO pipeline;
-        // QCOO and broadcast fall back to co-partitioned factors.
-        let use_pre = self.partitioning == Partitioning::PrePartitionedTensor
-            && self.strategy == Strategy::Coo;
-
-        // Distribute and cache the tensor (reused by every MTTKRP in COO
-        // mode and by the queue initialization in QCOO mode). On the
-        // pre-partitioned path the plain record RDD is never joined, so we
-        // skip it and instead keep one keyed copy per first-join mode:
-        // `join_order` starts every mode's pipeline at `order−1` except
-        // mode `order−1` itself, which starts at `order−2`.
-        let tensor_rdd = if use_pre {
-            None
-        } else if self.cache_tensor {
-            let rdd = tensor_to_rdd(cluster, tensor, partitions).persist(self.tensor_storage);
-            let _ = rdd.count();
-            Some(rdd)
-        } else {
-            Some(tensor_to_rdd(cluster, tensor, partitions))
-        };
-        let pre_keyed: Vec<(usize, Rdd<(u32, CooRecord)>)> = if use_pre {
-            let partitioner: Arc<dyn KeyPartitioner<u32>> =
-                Arc::new(HashPartitioner::new(partitions));
-            let pref = PartitionerRef::of(partitioner);
-            [order - 1, order - 2]
-                .into_iter()
-                .map(|key_mode| {
-                    let rdd =
-                        tensor_to_rdd_keyed(cluster, tensor, key_mode, partitions, Some(&pref));
-                    let rdd = if self.cache_tensor {
-                        let rdd = rdd.persist(self.tensor_storage);
-                        let _ = rdd.count();
-                        rdd
-                    } else {
-                        rdd
-                    };
-                    (key_mode, rdd)
-                })
-                .collect()
-        } else {
-            Vec::new()
-        };
-
-        // Factor initialization: warm start or seeded random.
+        // Factor initialization: warm start or seeded random. Runs before
+        // planning (pure driver-side work, no cluster jobs) because
+        // carried-state strategies consume the initial factors in their
+        // prologue.
         let mut factors: Vec<DenseMatrix> = match &self.init {
             Some(init) => {
                 if init.rank() != self.rank {
@@ -311,23 +218,24 @@ impl CpAls {
         let mut lambda = vec![1.0f64; self.rank];
         let mut grams: Vec<DenseMatrix> = factors.iter().map(DenseMatrix::gram).collect();
 
-        // QCOO: build the queued state once (the N-shuffle prologue).
-        let mut qstate = match self.strategy {
-            Strategy::Qcoo => Some(QcooState::init_with(
-                cluster,
-                tensor_rdd.as_ref().expect("QCOO never pre-partitions"),
-                &factors,
-                &shape,
-                self.rank,
+        // Build the strategy's MTTKRP plan: it distributes (and caches)
+        // the tensor in whatever layout its capabilities call for and runs
+        // any prologue (QCOO's N-shuffle queue initialization). From here
+        // on the driver is strategy-agnostic.
+        let mut mttkrp_plan = plan(
+            cluster,
+            tensor,
+            self.strategy,
+            &PlanConfig {
+                rank: self.rank,
                 partitions,
-                QcooOptions {
-                    co_partition_factors: co_factors,
-                    storage: self.tensor_storage,
-                    kernel: self.kernel,
-                },
-            )?),
-            Strategy::Coo | Strategy::CooBroadcast => None,
-        };
+                partitioning: self.partitioning,
+                kernel: self.kernel,
+                cache_tensor: self.cache_tensor,
+                storage: self.tensor_storage,
+            },
+            &factors,
+        )?;
 
         let mut fits: Vec<f64> = Vec::new();
         let mut prev_fit = f64::NEG_INFINITY;
@@ -336,47 +244,7 @@ impl CpAls {
         'outer: for _iter in 0..self.max_iterations {
             for mode in 0..order {
                 cluster.metrics().set_scope(format!("MTTKRP-{}", mode + 1));
-                let opts = MttkrpOptions {
-                    partitions: Some(partitions),
-                    co_partition_factors: co_factors,
-                    kernel: self.kernel,
-                    ..MttkrpOptions::default()
-                };
-                let m = match (&self.strategy, qstate.as_mut()) {
-                    (Strategy::Coo, _) if use_pre => {
-                        let first = join_order(order, mode)[0];
-                        let keyed = pre_keyed
-                            .iter()
-                            .find(|(key_mode, _)| *key_mode == first)
-                            .map(|(_, rdd)| rdd)
-                            .expect("first-join mode is order−1 or order−2");
-                        mttkrp_coo_pre(cluster, keyed, &factors, &shape, mode, &opts)?
-                    }
-                    (Strategy::Coo, _) => mttkrp_coo(
-                        cluster,
-                        tensor_rdd.as_ref().expect("COO tensor RDD present"),
-                        &factors,
-                        &shape,
-                        mode,
-                        &opts,
-                    )?,
-                    (Strategy::CooBroadcast, _) => mttkrp_coo_broadcast(
-                        cluster,
-                        tensor_rdd.as_ref().expect("broadcast tensor RDD present"),
-                        &factors,
-                        &shape,
-                        mode,
-                        &opts,
-                    )?,
-                    (Strategy::Qcoo, Some(q)) => {
-                        debug_assert_eq!(q.next_output_mode(), mode);
-                        let join_mode = q.next_join_mode();
-                        let (out_mode, m) = q.step(&factors[join_mode])?;
-                        debug_assert_eq!(out_mode, mode);
-                        m
-                    }
-                    (Strategy::Qcoo, None) => unreachable!("QCOO state initialized above"),
-                };
+                let m = mttkrp_plan.mttkrp(&factors, mode)?;
 
                 // Driver-side normal equations: V = ∗_{m≠n} Gₘ, Aₙ = M V⁺.
                 let mut v =
@@ -431,15 +299,7 @@ impl CpAls {
             }
         }
 
-        if let Some(q) = &qstate {
-            q.release();
-        }
-        if let Some(rdd) = &tensor_rdd {
-            rdd.unpersist();
-        }
-        for (_, rdd) in &pre_keyed {
-            rdd.unpersist();
-        }
+        mttkrp_plan.release();
         cluster.metrics().clear_scope();
 
         let final_fit = fits.last().copied().unwrap_or(f64::NAN);
@@ -576,7 +436,12 @@ mod tests {
             .seed(34)
             .build();
         let c = cluster();
-        for strategy in [Strategy::Coo, Strategy::Qcoo] {
+        for strategy in [
+            Strategy::Coo,
+            Strategy::Qcoo,
+            Strategy::CooBroadcast,
+            Strategy::DfactoSpmv,
+        ] {
             let res = CpAls::new(2)
                 .strategy(strategy)
                 .max_iterations(3)
@@ -672,6 +537,29 @@ mod tests {
     }
 
     #[test]
+    fn spmv_strategy_agrees_with_coo() {
+        // DFacTo-SpMV reduces partial products in a different association
+        // order than the join chain, so trajectories agree numerically
+        // (not bitwise) — same bound as the COO/QCOO cross-check.
+        let t = RandomTensor::new(vec![10, 9, 8]).nnz(250).seed(44).build();
+        let run = |s: Strategy| {
+            let c = cluster();
+            CpAls::new(2)
+                .strategy(s)
+                .max_iterations(4)
+                .seed(5)
+                .run(&c, &t)
+                .unwrap()
+        };
+        let coo = run(Strategy::Coo);
+        let spmv = run(Strategy::DfactoSpmv);
+        assert!((coo.stats.final_fit - spmv.stats.final_fit).abs() < 1e-6);
+        for (a, b) in coo.kruskal.factors.iter().zip(spmv.kruskal.factors.iter()) {
+            assert!(a.max_abs_diff(b) < 1e-6);
+        }
+    }
+
+    #[test]
     fn nonnegative_factors_have_no_negative_entries() {
         let t = RandomTensor::new(vec![10, 10, 10])
             .nnz(200)
@@ -729,7 +617,7 @@ mod tests {
             .seed(43)
             .build();
         let c = cluster();
-        for strategy in [Strategy::Coo, Strategy::Qcoo] {
+        for strategy in [Strategy::Coo, Strategy::Qcoo, Strategy::DfactoSpmv] {
             let _ = CpAls::new(2)
                 .strategy(strategy)
                 .max_iterations(5)
@@ -822,7 +710,7 @@ mod tests {
                 .unwrap()
                 .kruskal
         };
-        for strategy in [Strategy::Coo, Strategy::Qcoo] {
+        for strategy in [Strategy::Coo, Strategy::Qcoo, Strategy::DfactoSpmv] {
             let baseline = run(Partitioning::None, strategy);
             for level in [
                 Partitioning::CoPartitionedFactors,
@@ -860,7 +748,12 @@ mod tests {
                 .unwrap()
                 .kruskal
         };
-        for strategy in [Strategy::Coo, Strategy::Qcoo, Strategy::CooBroadcast] {
+        for strategy in [
+            Strategy::Coo,
+            Strategy::Qcoo,
+            Strategy::CooBroadcast,
+            Strategy::DfactoSpmv,
+        ] {
             let baseline = run(KernelStrategy::RecordAtATime, strategy);
             for kernel in [KernelStrategy::SortedRuns, KernelStrategy::split(0.1)] {
                 let got = run(kernel, strategy);

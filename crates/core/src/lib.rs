@@ -51,11 +51,14 @@ pub mod cost;
 pub mod cp_als;
 pub mod factors;
 pub mod mttkrp;
+pub mod planner;
 pub mod qcoo;
 pub mod records;
+pub mod spmv;
 
 pub use completion::{CompletionResult, CpCompletion};
-pub use cp_als::{CpAls, CpResult, DecompositionStats, Partitioning, Strategy};
+pub use cp_als::{CpAls, CpResult, DecompositionStats};
+pub use planner::{MttkrpStrategy, Partitioning, PlanConfig, Strategy, StrategyCapabilities};
 pub use records::{CooRecord, QRecord, Row};
 
 /// Errors from distributed decomposition runs.

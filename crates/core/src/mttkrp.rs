@@ -86,7 +86,7 @@ impl Default for MttkrpOptions {
     }
 }
 
-fn check(factors: &[DenseMatrix], shape: &[u32], mode: usize) -> Result<usize> {
+pub(crate) fn check(factors: &[DenseMatrix], shape: &[u32], mode: usize) -> Result<usize> {
     if factors.len() != shape.len() {
         return Err(CstfError::Config(format!(
             "{} factors for an order-{} tensor",
@@ -119,6 +119,55 @@ fn check(factors: &[DenseMatrix], shape: &[u32], mode: usize) -> Result<usize> {
 /// (`B`) — exactly STAGE 1 and 2 of Table 2).
 pub fn join_order(order: usize, mode: usize) -> Vec<usize> {
     (0..order).rev().filter(|&m| m != mode).collect()
+}
+
+/// Shared preamble of every join-based MTTKRP pipeline (COO, QCOO, SpMV):
+/// the resolved partition count, the single join partitioner threaded
+/// through all stages, and pre-hashed factor-row emission. Previously this
+/// setup was copy-pasted into each pipeline; the planner now builds one
+/// context per pipeline invocation.
+pub(crate) struct JoinContext {
+    pub(crate) partitions: usize,
+    pub(crate) partitioner: Arc<dyn KeyPartitioner<u32>>,
+    pref: PartitionerRef,
+    co_partition_factors: bool,
+}
+
+impl JoinContext {
+    /// Resolves `partitions` against the cluster default and builds the
+    /// shared hash partitioner (+ provenance ref for narrow factor sides).
+    pub(crate) fn new(
+        cluster: &Cluster,
+        partitions: Option<usize>,
+        co_partition_factors: bool,
+    ) -> Self {
+        let partitions = partitions.unwrap_or(cluster.config().default_parallelism);
+        let partitioner: Arc<dyn KeyPartitioner<u32>> = Arc::new(HashPartitioner::new(partitions));
+        let pref = PartitionerRef::of(partitioner.clone());
+        JoinContext {
+            partitions,
+            partitioner,
+            pref,
+            co_partition_factors,
+        }
+    }
+
+    /// Context from [`MttkrpOptions`].
+    pub(crate) fn from_opts(cluster: &Cluster, opts: &MttkrpOptions) -> Self {
+        Self::new(cluster, opts.partitions, opts.co_partition_factors)
+    }
+
+    /// Emits a factor matrix as a row RDD, pre-partitioned by the join
+    /// partitioner when co-partitioning is on (so the join side is
+    /// narrow).
+    pub(crate) fn factor_rdd(&self, cluster: &Cluster, factor: &DenseMatrix) -> Rdd<(u32, Row)> {
+        factor_to_rdd(
+            cluster,
+            factor,
+            self.partitions,
+            self.co_partition_factors.then_some(&self.pref),
+        )
+    }
 }
 
 /// Distributed mode-`n` MTTKRP over a tensor RDD.
@@ -172,26 +221,19 @@ fn mttkrp_coo_keyed(
     rank: usize,
     opts: &MttkrpOptions,
 ) -> Result<DenseMatrix> {
-    let partitions = opts
-        .partitions
-        .unwrap_or(cluster.config().default_parallelism);
     // One shared partitioner threads through every stage; with
     // `co_partition_factors` the factor side of each join is narrow.
-    let partitioner: Arc<dyn KeyPartitioner<u32>> = Arc::new(HashPartitioner::new(partitions));
-    let pref = PartitionerRef::of(partitioner.clone());
-    let factor_rdd_for = |m: usize| -> Rdd<(u32, Row)> {
-        let co = opts.co_partition_factors.then_some(&pref);
-        factor_to_rdd(cluster, &factors[m], partitions, co)
-    };
+    let ctx = JoinContext::from_opts(cluster, opts);
+    let partitions = ctx.partitions;
 
     let joins = join_order(shape.len(), mode);
 
     // STAGE 1: join the first factor's rows against the keyed tensor.
     // After the join, re-key for the next stage (or the final reduce).
-    let factor_rdd = factor_rdd_for(joins[0]);
+    let factor_rdd = ctx.factor_rdd(cluster, &factors[joins[0]]);
     let next_key_mode = *joins.get(1).unwrap_or(&mode);
     let mut state: Rdd<(u32, (CooRecord, Row))> = keyed
-        .join_by(&factor_rdd, partitioner.clone())
+        .join_by(&factor_rdd, ctx.partitioner.clone())
         .map(move |(_, (rec, row))| (rec.coord[next_key_mode], (rec, row)));
 
     // STAGES 2..N-1: join remaining factors, folding rows into the partial
@@ -199,9 +241,9 @@ fn mttkrp_coo_keyed(
     // the kernel arena (same products, bit for bit).
     let pooled = opts.kernel.is_sorted();
     for (idx, &m) in joins.iter().enumerate().skip(1) {
-        let factor_rdd = factor_rdd_for(m);
+        let factor_rdd = ctx.factor_rdd(cluster, &factors[m]);
         let next_key_mode = *joins.get(idx + 1).unwrap_or(&mode);
-        state = state.join_by(&factor_rdd, partitioner.clone()).map(
+        state = state.join_by(&factor_rdd, ctx.partitioner.clone()).map(
             move |(_, ((rec, partial), row))| {
                 let combined = if pooled {
                     hadamard_rows_pooled(partial, row)
@@ -250,9 +292,7 @@ pub fn mttkrp_coo_broadcast(
     opts: &MttkrpOptions,
 ) -> Result<DenseMatrix> {
     let rank = check(factors, shape, mode)?;
-    let partitions = opts
-        .partitions
-        .unwrap_or(cluster.config().default_parallelism);
+    let partitions = JoinContext::from_opts(cluster, opts).partitions;
 
     // Broadcast the non-target factors (metered by the engine).
     let non_target: Vec<DenseMatrix> = (0..shape.len())

@@ -25,13 +25,13 @@
 //! scheduling neither helps nor hurts it (the `ablation_scheduler`
 //! experiment shows ratio 1.0, against COO's strict improvement).
 
-use crate::factors::{factor_to_rdd, rows_to_matrix};
+use crate::factors::rows_to_matrix;
+use crate::mttkrp::JoinContext;
 use crate::records::{add_rows, row_kernel_ops, CooRecord, QRecord};
 use crate::{CstfError, Result};
 use cstf_dataflow::kernel::pool;
 use cstf_dataflow::prelude::*;
 use cstf_tensor::DenseMatrix;
-use std::sync::Arc;
 
 /// Options for [`QcooState::init_with`].
 #[derive(Debug, Clone)]
@@ -140,24 +140,17 @@ impl QcooState {
             )));
         }
         let capacity = order - 1;
-        let partitioner: Arc<dyn KeyPartitioner<u32>> = Arc::new(HashPartitioner::new(partitions));
-        let pref = PartitionerRef::of(partitioner.clone());
+        let ctx = JoinContext::new(cluster, Some(partitions), opts.co_partition_factors);
         let mut state: Rdd<(u32, QRecord)> = tensor.map(|rec| (rec.coord[0], QRecord::new(rec)));
         for (m, factor) in factors.iter().enumerate().take(order - 1) {
-            let factor_rdd = factor_to_rdd(
-                cluster,
-                factor,
-                partitions,
-                opts.co_partition_factors.then_some(&pref),
-            );
+            let factor_rdd = ctx.factor_rdd(cluster, factor);
             let next = m + 1;
-            state =
-                state
-                    .join_by(&factor_rdd, partitioner.clone())
-                    .map(move |(_, (mut q, row))| {
-                        q.rotate(row, capacity);
-                        (q.entry.coord[next], q)
-                    });
+            state = state.join_by(&factor_rdd, ctx.partitioner.clone()).map(
+                move |(_, (mut q, row))| {
+                    q.rotate(row, capacity);
+                    (q.entry.coord[next], q)
+                },
+            );
         }
         // Materialize eagerly: the N−1 initialization shuffles are the
         // prologue overhead the paper attributes to queue setup, and they
@@ -233,22 +226,19 @@ impl QcooState {
         }
 
         let capacity = order - 1;
-        let partitioner: Arc<dyn KeyPartitioner<u32>> =
-            Arc::new(HashPartitioner::new(self.partitions));
-        let pref = PartitionerRef::of(partitioner.clone());
-        let factor_rdd = factor_to_rdd(
+        let ctx = JoinContext::new(
             &self.cluster,
-            factor_of_key_mode,
-            self.partitions,
-            self.co_partition_factors.then_some(&pref),
+            Some(self.partitions),
+            self.co_partition_factors,
         );
+        let factor_rdd = ctx.factor_rdd(&self.cluster, factor_of_key_mode);
         // STAGE 1 (join) + STAGE 2 (rotate & re-key) — one shuffle (the
         // factor side is narrow when co-partitioned). The pooled rotation
         // recycles each dequeued stale row into the kernel arena.
         let pooled = self.kernel.is_sorted();
         let rotated_raw =
             self.state
-                .join_by(&factor_rdd, partitioner)
+                .join_by(&factor_rdd, ctx.partitioner)
                 .map(move |(_, (mut q, row))| {
                     if pooled {
                         q.rotate_pooled(row, capacity);

@@ -38,6 +38,7 @@ pub mod mttkrp;
 pub mod ops;
 pub mod random;
 pub mod slice;
+pub mod spmv;
 pub mod tucker;
 
 pub use coo::CooTensor;

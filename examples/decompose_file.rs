@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p cstf-examples --bin decompose_file -- \
-//!     <input.tns> [rank] [iterations] [coo|qcoo|broadcast]
+//!     <input.tns> [rank] [iterations] [coo|qcoo|broadcast|spmv]
 //! ```
 //!
 //! Reads the tensor (1-based indices, one nonzero per line), runs CP-ALS
@@ -48,10 +48,12 @@ fn main() {
     };
     let rank: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(3);
     let iters: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(15);
-    let strategy = match args.get(3).map(String::as_str) {
-        Some("coo") => Strategy::Coo,
-        Some("broadcast") => Strategy::CooBroadcast,
-        _ => Strategy::Qcoo,
+    let strategy = match args.get(3) {
+        Some(s) => s.parse::<Strategy>().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }),
+        None => Strategy::Qcoo,
     };
 
     let tensor = match io::read_tns_file(&input) {

@@ -8,9 +8,13 @@
 //! shuffles with measurable traffic, caching, broadcast, fault tolerance.
 //! This example exercises each of them directly on a classic wordcount-ish
 //! workload, prints the engine's stage report, then kills a node and shows
-//! lineage recovery — no tensors involved.
+//! lineage recovery. A closing section tours the four MTTKRP strategies
+//! through the planner's uniform API — the same `CpAls` builder drives
+//! COO, QCOO, broadcast and DFacTo-SpMV with one flag flipped.
 
+use cstf_core::{CpAls, Strategy};
 use cstf_dataflow::prelude::*;
+use cstf_tensor::random::RandomTensor;
 
 fn main() {
     // 8 simulated nodes on local threads.
@@ -79,4 +83,42 @@ fn main() {
     );
     let recount = errors.count();
     println!("error count after recovery: {recount} (recomputed from lineage)");
+
+    // Finale: every MTTKRP strategy through one uniform driver loop. The
+    // planner builds whatever each pipeline needs (pre-keyed tensor
+    // copies, carried queue state, broadcast factors); `CpAls::run` never
+    // branches on the strategy. Same seed → same initialization, so the
+    // fits agree to floating-point tolerance while the shuffle structure
+    // differs per strategy.
+    println!("\n--- MTTKRP strategy tour (same tensor, same seed) ---");
+    let tensor = RandomTensor::new(vec![40, 30, 25])
+        .nnz(2_000)
+        .seed(9)
+        .build();
+    for strategy in [
+        Strategy::Coo,
+        Strategy::Qcoo,
+        Strategy::CooBroadcast,
+        Strategy::DfactoSpmv,
+    ] {
+        let c = Cluster::new(ClusterConfig::auto().nodes(8));
+        let result = CpAls::new(2)
+            .strategy(strategy)
+            .max_iterations(3)
+            .seed(4)
+            .run(&c, &tensor)
+            .expect("decomposition");
+        let m = c.metrics().snapshot();
+        let caps = strategy.capabilities();
+        println!(
+            "  {:<13} fit {:.6}  shuffles {:>3} (+{} skipped)  caps: pre-partition={} broadcast={} carried-state={}",
+            strategy.to_string(),
+            result.stats.final_fit,
+            m.shuffle_count(),
+            m.skipped_shuffle_count(),
+            caps.pre_partitioned_tensor,
+            caps.broadcast_factors,
+            caps.carried_state,
+        );
+    }
 }

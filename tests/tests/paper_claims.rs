@@ -26,48 +26,61 @@ fn table4_shuffle_counts_all_algorithms() {
     let threshold = t.nnz() as u64 / 2;
     let factors = random_factors(t.shape(), 2, 2);
 
-    let counts: Vec<usize> = [
+    let algorithms = [
         Algorithm::BigTensor,
         Algorithm::CstfCoo,
         Algorithm::CstfQcoo,
-    ]
-    .iter()
-    .map(|alg| {
-        let c = test_cluster(4);
-        let rdd = tensor_to_rdd(&c, &t, 8).persist(StorageLevel::MemoryRaw);
-        let _ = rdd.count();
-        match alg {
-            Algorithm::BigTensor => {
-                c.metrics().reset();
-                let _ = cstf_core::bigtensor::bigtensor_mttkrp(&c, &rdd, &factors, t.shape(), 0, 8)
+        Algorithm::DfactoSpmv,
+    ];
+    let counts: Vec<usize> = algorithms
+        .iter()
+        .map(|alg| {
+            let c = test_cluster(4);
+            let rdd = tensor_to_rdd(&c, &t, 8).persist(StorageLevel::MemoryRaw);
+            let _ = rdd.count();
+            match alg {
+                Algorithm::BigTensor => {
+                    c.metrics().reset();
+                    let _ =
+                        cstf_core::bigtensor::bigtensor_mttkrp(&c, &rdd, &factors, t.shape(), 0, 8)
+                            .unwrap();
+                }
+                Algorithm::CstfCoo => {
+                    c.metrics().reset();
+                    let _ = mttkrp_coo(&c, &rdd, &factors, t.shape(), 0, &MttkrpOptions::default())
+                        .unwrap();
+                }
+                Algorithm::CstfQcoo => {
+                    let mut q = QcooState::init(&c, &rdd, &factors, t.shape(), 2, 8).unwrap();
+                    c.metrics().reset();
+                    let _ = q.step(&factors[2]).unwrap();
+                }
+                Algorithm::DfactoSpmv => {
+                    c.metrics().reset();
+                    let _ = cstf_core::spmv::mttkrp_spmv(
+                        &c,
+                        &rdd,
+                        &factors,
+                        t.shape(),
+                        0,
+                        &MttkrpOptions::default(),
+                    )
                     .unwrap();
+                }
             }
-            Algorithm::CstfCoo => {
-                c.metrics().reset();
-                let _ = mttkrp_coo(&c, &rdd, &factors, t.shape(), 0, &MttkrpOptions::default())
-                    .unwrap();
-            }
-            Algorithm::CstfQcoo => {
-                let mut q = QcooState::init(&c, &rdd, &factors, t.shape(), 2, 8).unwrap();
-                c.metrics().reset();
-                let _ = q.step(&factors[2]).unwrap();
-            }
-        }
-        c.metrics().snapshot().significant_shuffle_count(threshold)
-    })
-    .collect();
+            c.metrics().snapshot().significant_shuffle_count(threshold)
+        })
+        .collect();
 
-    let models: Vec<u32> = [
-        Algorithm::BigTensor,
-        Algorithm::CstfCoo,
-        Algorithm::CstfQcoo,
-    ]
-    .iter()
-    .map(|&alg| mttkrp_cost(alg, 3, t.nnz() as u64, 2, t.shape()).shuffles)
-    .collect();
+    let models: Vec<u32> = algorithms
+        .iter()
+        .map(|&alg| mttkrp_cost(alg, 3, t.nnz() as u64, 2, t.shape()).shuffles)
+        .collect();
 
-    assert_eq!(counts, vec![4, 3, 2]);
-    assert_eq!(models, vec![4, 3, 2]);
+    // DFacTo-SpMV's four shuffles all clear the nnz/2 significance bar on
+    // this tensor: two nnz-sized plus two fiber-sized with F > nnz/2.
+    assert_eq!(counts, vec![4, 3, 2, 4]);
+    assert_eq!(models, vec![4, 3, 2, 4]);
 }
 
 /// §5: per-iteration shuffle counts measured over a full CP-ALS iteration:
